@@ -1,0 +1,48 @@
+# ibsim — reproduction of "Instruction Fetching: Coping with Code Bloat"
+# (ISCA 1995). Stdlib-only Go; see README.md.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet cover tables extensions calibration examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper table and figure (EXPERIMENTS.md scale).
+tables:
+	$(GO) run ./cmd/ibstables -n 2000000 -trials 5
+
+# The beyond-the-paper extension/ablation/methodology studies.
+extensions:
+	$(GO) run ./cmd/ibstables -extensions -n 1000000
+
+# Workload-model calibration report against the paper's published values.
+calibration:
+	$(GO) run ./cmd/ibscal -n 2000000 -sizes -cpi
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/codebloat
+	$(GO) run ./examples/fetchtuning
+	$(GO) run ./examples/tracefiles
+	$(GO) run ./examples/futurework
+
+clean:
+	$(GO) clean ./...

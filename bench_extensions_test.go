@@ -1,0 +1,155 @@
+package ibsim
+
+import "testing"
+
+// Benchmarks for the extension and ablation studies (beyond the paper's
+// exhibits; see EXPERIMENTS.md).
+
+func BenchmarkExtensionVictim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ExtensionVictim(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Baseline, "dm-CPI")
+			b.ReportMetric(res.Rows[len(res.Rows)-1].CPI, "victim15-CPI")
+			b.ReportMetric(res.TwoWay, "2way-CPI")
+		}
+	}
+}
+
+func BenchmarkExtensionMultiStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ExtensionMultiStream(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if row.Depth == 4 && (row.Ways == 1 || row.Ways == 4) {
+					b.ReportMetric(row.CPI, "ways"+itoa(row.Ways)+"-CPI")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkExtensionIssueWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ExtensionIssueWidth(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.CPIinstr, "fetch-floor-CPI")
+			b.ReportMetric(res.Rows[2].FetchShare, "quad-issue-share")
+		}
+	}
+}
+
+func BenchmarkExtensionTLB(b *testing.B) {
+	opt := Options{Instructions: 150_000}
+	for i := 0; i < b.N; i++ {
+		res, err := ExtensionTLB(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if row.Assoc == 0 && (row.Entries == 64 || row.Entries == 256) {
+					b.ReportMetric(row.MissesPer100, "tlb"+itoa(row.Entries)+"-mpi")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkExtensionPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := ExtensionPlacement(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Scattered, "scattered-MPI")
+			b.ReportMetric(res.HotPacked, "hotpacked-MPI")
+		}
+	}
+}
+
+func BenchmarkAblationSubBlock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := AblationSubBlock(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Line16Prefetch3, "prefetch-CPI")
+			b.ReportMetric(res.Line64SubBlock16, "subblock-CPI")
+		}
+	}
+}
+
+func BenchmarkAblationPagePolicy(b *testing.B) {
+	opt := Options{Instructions: 150_000, Trials: 3}
+	for i := 0; i < b.N; i++ {
+		res, err := AblationPagePolicy(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.MeanMPI, row.Policy.String()+"-MPI")
+			}
+		}
+	}
+}
+
+func BenchmarkAblationReplacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := AblationReplacement(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				if row.Assoc == 4 {
+					b.ReportMetric(row.MPI, row.Policy.String()+"4way-MPI")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkLocalityAnalysis(b *testing.B) {
+	w, err := LoadWorkload("gs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs, err := GenerateInstructionTrace(w, 200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeLocality(refs, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// itoa avoids importing strconv in a benchmark file for two call sites.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,237 @@
+package ibsim
+
+import "testing"
+
+// The benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each iteration regenerates the exhibit at a reduced
+// per-workload instruction budget (the paper-scale run is
+// `go run ./cmd/ibstables`), and the headline values of the exhibit are
+// attached as custom benchmark metrics so `go test -bench` output doubles as
+// a miniature reproduction log.
+
+// benchOpt keeps a single benchmark iteration around a second.
+var benchOpt = Options{Instructions: 250_000, Trials: 3}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Table1(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.Components.Total(), row.Suite+"-CPI")
+			}
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Table3(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].Instr, "mach-CPIinstr")
+			b.ReportMetric(res.Rows[1].Instr, "ultrix-CPIinstr")
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Table4(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.MachAvg, "mach-avg-MPI")
+			b.ReportMetric(res.UltrixAvg, "ultrix-avg-MPI")
+			b.ReportMetric(res.SPECAvg, "spec-avg-MPI")
+		}
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Table5(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.EconomyIBS, "economy-IBS-CPI")
+			b.ReportMetric(res.HighPerfIBS, "hp-IBS-CPI")
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Table6(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Grid.CPI[0][2], "line64-N0-CPI")
+			b.ReportMetric(res.Grid.CPI[3][0], "line16-N3-CPI")
+		}
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Table7(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.NoBypass.CPI[3][0], "nobypass-16-N3")
+			b.ReportMetric(res.Bypass.CPI[3][0], "bypass-16-N3")
+		}
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Table8(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].CPI16, "depth0-16B-CPI")
+			b.ReportMetric(res.Rows[3].CPI16, "depth6-16B-CPI")
+			b.ReportMetric(res.Rows[5].CPI16, "depth18-16B-CPI")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure1(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.IBS[0].Total, "IBS-8KB-MPI")
+			b.ReportMetric(res.SPEC[0].Total, "SPEC-8KB-MPI")
+			b.ReportMetric(res.IBS[3].Total, "IBS-64KB-MPI")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure3(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range res.Economy {
+				if p.L2SizeKB == 64 && p.L2LineSize == 64 {
+					b.ReportMetric(p.Total(), "eco-64KB-64B-total")
+				}
+			}
+			b.ReportMetric(res.HighPerfBase, "hp-baseline")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure4(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Economy[0].Total(), "eco-1way-total")
+			b.ReportMetric(res.Economy[3].Total(), "eco-8way-total")
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	opt := Options{Instructions: 100_000, Trials: 3}
+	for i := 0; i < b.N; i++ {
+		res, err := Figure5(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var maxDM, max4 float64
+			for _, p := range res.Points {
+				if p.Workload != "verilog" {
+					continue
+				}
+				if p.Assoc == 1 && p.StdDev > maxDM {
+					maxDM = p.StdDev
+				}
+				if p.Assoc == 4 && p.StdDev > max4 {
+					max4 = p.StdDev
+				}
+			}
+			b.ReportMetric(maxDM, "verilog-1way-max-sd")
+			b.ReportMetric(max4, "verilog-4way-max-sd")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure6(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			opt16, cpi16 := res.Optimal(16)
+			b.ReportMetric(float64(opt16), "optimal-line-16Bcyc")
+			b.ReportMetric(cpi16, "best-CPI-16Bcyc")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Figure7(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.HighPerf[0].Total(), "hp-baseline")
+			b.ReportMetric(res.HighPerf[5].Total(), "hp-final")
+			b.ReportMetric(res.Economy[0].Total(), "eco-baseline")
+			b.ReportMetric(res.Economy[5].Total(), "eco-final")
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures raw workload-generation throughput
+// (references per second), the substrate every experiment stands on.
+func BenchmarkTraceGeneration(b *testing.B) {
+	w, err := LoadWorkload("gs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateInstructionTrace(w, 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSimulation measures raw cache-simulation throughput.
+func BenchmarkCacheSimulation(b *testing.B) {
+	w, _ := LoadWorkload("gs")
+	refs, err := GenerateInstructionTrace(w, 500_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := CacheConfig{Size: 8192, LineSize: 32, Assoc: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplayCache(refs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"ibsim/internal/cache"
+	"ibsim/internal/synth"
+)
+
+func TestMPIHelper(t *testing.T) {
+	p, err := synth.Lookup("eqntott")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mpi(p, cache.Config{Size: 8192, LineSize: 32, Assoc: 1}, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// eqntott is calibrated to ~0.2 per 100 at 8 KB; allow a wide band at
+	// reduced trace length.
+	if got < 0.02 || got > 1.0 {
+		t.Fatalf("eqntott MPI = %.3f per 100, outside sanity band", got)
+	}
+	if _, err := mpi(p, cache.Config{Size: 7}, 100); err == nil {
+		t.Fatal("invalid cache accepted")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	// The calibration report itself at a tiny budget: exercises every
+	// registered workload once and must not error.
+	if err := run(30_000, false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Command ibsgen generates IBSTRACE files from the synthetic workload
+// models — our equivalent of the address traces the paper's authors
+// distributed to the research community.
+//
+// Usage:
+//
+//	ibsgen -workload gs -n 4000000 -o gs.ibstrace
+//	ibsgen -all -n 1000000 -dir traces/
+//	ibsgen -info gs.ibstrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ibsim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload to trace (see ibsim -list)")
+		all      = flag.Bool("all", false, "generate traces for every IBS workload (both OSes)")
+		n        = flag.Int64("n", 4_000_000, "instructions per trace")
+		out      = flag.String("o", "", "output file (default <workload>.ibstrace)")
+		dir      = flag.String("dir", ".", "output directory for -all")
+		info     = flag.String("info", "", "print a trace file's summary instead of generating")
+	)
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		if err := printInfo(*info); err != nil {
+			fail(err)
+		}
+	case *all:
+		for _, w := range append(ibsim.IBSMach(), ibsim.IBSUltrix()...) {
+			suffix := ""
+			if w.OS == ibsim.Monolithic {
+				suffix = "-ultrix"
+			}
+			path := filepath.Join(*dir, w.Name+suffix+".ibstrace")
+			if err := generate(w, *n, path); err != nil {
+				fail(err)
+			}
+		}
+	case *workload != "":
+		w, err := ibsim.LoadWorkload(*workload)
+		if err != nil {
+			fail(err)
+		}
+		path := *out
+		if path == "" {
+			path = filepath.Base(*workload) + ".ibstrace"
+		}
+		if err := generate(w, *n, path); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(w ibsim.Workload, n int64, path string) error {
+	written, err := ibsim.WriteTraceFile(path, w, n)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d references (%d instructions), %.1f MB (%.2f bytes/ref)\n",
+		path, written, n, float64(st.Size())/1e6, float64(st.Size())/float64(written))
+	return nil
+}
+
+func printInfo(path string) error {
+	refs, err := ibsim.ReadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	var kinds [3]int64
+	var domains [4]int64
+	for _, r := range refs {
+		kinds[r.Kind]++
+		domains[r.Domain]++
+	}
+	total := int64(len(refs))
+	fmt.Printf("%s: %d references\n", path, total)
+	fmt.Printf("  ifetch %d (%.1f%%), dread %d (%.1f%%), dwrite %d (%.1f%%)\n",
+		kinds[0], 100*float64(kinds[0])/float64(total),
+		kinds[1], 100*float64(kinds[1])/float64(total),
+		kinds[2], 100*float64(kinds[2])/float64(total))
+	fmt.Printf("  user %.1f%%, kernel %.1f%%, bsd %.1f%%, x %.1f%%\n",
+		100*float64(domains[0])/float64(total), 100*float64(domains[1])/float64(total),
+		100*float64(domains[2])/float64(total), 100*float64(domains[3])/float64(total))
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ibsgen:", err)
+	os.Exit(1)
+}

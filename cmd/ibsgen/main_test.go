@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ibsim"
+)
+
+func TestGenerateAndInfo(t *testing.T) {
+	w, err := ibsim.LoadWorkload("nroff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "nroff.ibstrace")
+	if err := generate(w, 20_000, path); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() < 1000 {
+		t.Fatalf("trace file only %d bytes", st.Size())
+	}
+	if err := printInfo(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintInfoMissingFile(t *testing.T) {
+	if err := printInfo(filepath.Join(t.TempDir(), "nope.ibstrace")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestGenerateBadPath(t *testing.T) {
+	w, _ := ibsim.LoadWorkload("nroff")
+	if err := generate(w, 1000, filepath.Join(t.TempDir(), "no", "such", "dir", "x.ibstrace")); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}

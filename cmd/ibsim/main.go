@@ -1,0 +1,111 @@
+// Command ibsim simulates one workload against one memory-system
+// configuration and prints the result.
+//
+// Usage:
+//
+//	ibsim -workload gs -size 8192 -line 32 -assoc 1 -n 2000000
+//	ibsim -workload verilog -latency 6 -bandwidth 16 -prefetch 3 -bypass
+//	ibsim -workload sdet -stream 6 -line 16 -bandwidth 16
+//	ibsim -workload gs -system          # DECstation 3100 whole-system CPI
+//	ibsim -list                          # available workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ibsim"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		workload = flag.String("workload", "gs", "workload name (see -list)")
+		n        = flag.Int64("n", 2_000_000, "instructions to simulate")
+		size     = flag.Int("size", 8192, "I-cache size in bytes")
+		line     = flag.Int("line", 32, "I-cache line size in bytes")
+		assoc    = flag.Int("assoc", 1, "I-cache associativity (0 = fully associative)")
+		latency  = flag.Int("latency", 6, "miss latency to next level (cycles)")
+		bw       = flag.Int("bandwidth", 16, "transfer bandwidth (bytes/cycle)")
+		prefetch = flag.Int("prefetch", 0, "sequential prefetch-on-miss lines")
+		bypass   = flag.Bool("bypass", false, "enable bypass buffers")
+		stream   = flag.Int("stream", 0, "stream-buffer lines (pipelined engine)")
+		system   = flag.Bool("system", false, "run the DECstation 3100 whole-system model instead")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range ibsim.Workloads() {
+			w, _ := ibsim.LoadWorkload(name)
+			fmt.Printf("%-20s %s\n", name, w.Description)
+		}
+		return
+	}
+
+	w, err := ibsim.LoadWorkload(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibsim:", err)
+		os.Exit(1)
+	}
+
+	var report string
+	if *system {
+		report, err = systemReport(w, *n)
+	} else {
+		fc := ibsim.FetchConfig{
+			L1:                ibsim.CacheConfig{Size: *size, LineSize: *line, Assoc: *assoc},
+			Link:              ibsim.Transfer{Latency: *latency, BytesPerCycle: *bw},
+			PrefetchLines:     *prefetch,
+			Bypass:            *bypass,
+			StreamBufferLines: *stream,
+		}
+		report, err = fetchReport(w, fc, *n)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ibsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+}
+
+// systemReport runs the DECstation 3100 whole-system model and formats its
+// CPI breakdown.
+func systemReport(w ibsim.Workload, n int64) (string, error) {
+	comp, userShare, err := ibsim.SimulateSystem(w, n)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s on DECstation 3100 (%d instructions):\n", w.Name, n)
+	fmt.Fprintf(&b, "  execution: %.0f%% user / %.0f%% OS\n", userShare*100, (1-userShare)*100)
+	fmt.Fprintf(&b, "  total memory CPI: %.3f\n", comp.Total())
+	fmt.Fprintf(&b, "    I-cache (CPIinstr): %.3f\n", comp.Instr)
+	fmt.Fprintf(&b, "    D-cache (CPIdata):  %.3f\n", comp.Data)
+	fmt.Fprintf(&b, "    TLB (CPItlb):       %.3f\n", comp.TLB)
+	fmt.Fprintf(&b, "    CPU (CPIwrite):     %.3f\n", comp.Write)
+	return b.String(), nil
+}
+
+// fetchReport runs one fetch-engine configuration and formats its result.
+func fetchReport(w ibsim.Workload, fc ibsim.FetchConfig, n int64) (string, error) {
+	res, err := ibsim.SimulateFetch(w, fc, n)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "workload %s, L1 %s, link %s:\n", w.Name, fc.L1, fc.Link)
+	if fc.StreamBufferLines > 0 {
+		fmt.Fprintf(&b, "  engine: pipelined, %d-line stream buffer\n", fc.StreamBufferLines)
+	} else {
+		fmt.Fprintf(&b, "  engine: blocking, prefetch %d lines, bypass %v\n", fc.PrefetchLines, fc.Bypass)
+	}
+	fmt.Fprintf(&b, "  instructions: %d\n", res.Instructions)
+	fmt.Fprintf(&b, "  misses:       %d (%.2f per 100 instructions)\n", res.Misses, 100*res.MPI())
+	if res.BufferHits > 0 {
+		fmt.Fprintf(&b, "  stream-buffer hits: %d\n", res.BufferHits)
+	}
+	fmt.Fprintf(&b, "  CPIinstr:     %.3f\n", res.CPIinstr())
+	return b.String(), nil
+}

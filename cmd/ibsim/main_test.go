@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ibsim"
+)
+
+func TestFetchReport(t *testing.T) {
+	w, err := ibsim.LoadWorkload("eqntott")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fetchReport(w, ibsim.FetchConfig{
+		L1:                ibsim.CacheConfig{Size: 8192, LineSize: 16, Assoc: 1},
+		Link:              ibsim.OnChipL2Link(),
+		StreamBufferLines: 6,
+	}, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"eqntott", "stream buffer", "CPIinstr", "stream-buffer hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fetch report missing %q:\n%s", want, out)
+		}
+	}
+	// Blocking variant names its engine and prefetch.
+	out, err = fetchReport(w, ibsim.FetchConfig{
+		L1:            ibsim.CacheConfig{Size: 8192, LineSize: 32, Assoc: 1},
+		Link:          ibsim.OnChipL2Link(),
+		PrefetchLines: 2,
+	}, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "prefetch 2 lines") {
+		t.Errorf("blocking report malformed:\n%s", out)
+	}
+	// Bad geometry propagates as an error.
+	if _, err := fetchReport(w, ibsim.FetchConfig{
+		L1:   ibsim.CacheConfig{Size: 7},
+		Link: ibsim.OnChipL2Link(),
+	}, 100); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestSystemReport(t *testing.T) {
+	w, _ := ibsim.LoadWorkload("sdet")
+	out, err := systemReport(w, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DECstation 3100", "I-cache", "CPIwrite", "% user"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("system report missing %q:\n%s", want, out)
+		}
+	}
+}

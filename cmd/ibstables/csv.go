@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+)
+
+// toCSV converts the renderer's aligned-text tables to CSV. The text format
+// is stable: a title line, a header row, a dashed rule, then body rows, with
+// columns separated by runs of two or more spaces (single spaces only ever
+// occur *inside* a cell). Multiple tables in one exhibit are separated by
+// blank lines; each becomes its own CSV block prefixed with a "# title"
+// comment.
+func toCSV(text string) string {
+	var out strings.Builder
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		trimmed := strings.TrimRight(line, " ")
+		switch {
+		case trimmed == "":
+			continue
+		case strings.HasPrefix(trimmed, "---"):
+			continue
+		case isTitle(lines, i):
+			if out.Len() > 0 {
+				out.WriteString("\n")
+			}
+			out.WriteString("# " + trimmed + "\n")
+		default:
+			out.WriteString(joinCSV(splitCells(trimmed)))
+			out.WriteString("\n")
+		}
+	}
+	return out.String()
+}
+
+// isTitle reports whether lines[i] is a table title: the line after the next
+// line is a dashed rule (title, header, rule), or the line itself precedes a
+// header+rule pair. Titles are also the only lines not followed directly by
+// a rule but by a header that is.
+func isTitle(lines []string, i int) bool {
+	// A title is a line whose line+2 is a rule (title, header, ----) .
+	if i+2 < len(lines) && strings.HasPrefix(lines[i+2], "---") {
+		// ...and the line itself is not the header (the header is the line
+		// directly above the rule).
+		return !strings.HasPrefix(lines[i+1], "---")
+	}
+	return false
+}
+
+// splitCells splits an aligned row on runs of two or more spaces.
+func splitCells(line string) []string {
+	var cells []string
+	var cur strings.Builder
+	spaces := 0
+	for _, r := range line {
+		if r == ' ' {
+			spaces++
+			continue
+		}
+		if spaces >= 2 && cur.Len() > 0 {
+			cells = append(cells, cur.String())
+			cur.Reset()
+		} else if spaces == 1 && cur.Len() > 0 {
+			cur.WriteByte(' ')
+		}
+		spaces = 0
+		cur.WriteRune(r)
+	}
+	if cur.Len() > 0 {
+		cells = append(cells, cur.String())
+	}
+	return cells
+}
+
+// joinCSV renders cells as one CSV record (RFC-4180 quoting).
+func joinCSV(cells []string) string {
+	var b strings.Builder
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	return b.String()
+}

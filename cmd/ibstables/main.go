@@ -1,0 +1,320 @@
+// Command ibstables regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ibstables                         # everything
+//	ibstables -experiment table4      # one exhibit
+//	ibstables -n 4000000 -trials 5    # scale the simulation
+//
+// Experiments: table1 table2 table3 table4 table5 table6 table7 table8
+// figure1 figure2 figure3 figure4 figure5 figure6 figure7 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ibsim"
+)
+
+// renderer produces one exhibit's text.
+type renderer func(ibsim.Options) (string, error)
+
+// exhibits maps experiment names to their runners, in paper order, followed
+// by the extension/ablation studies (not in the paper; run with
+// -experiment <name> or -extensions).
+var exhibitOrder = []string{
+	"table1", "table2", "table3", "table4", "figure1", "figure2",
+	"table5", "figure3", "figure4", "figure5", "figure6",
+	"table6", "table7", "table8", "figure7",
+}
+
+// extensionOrder lists the beyond-the-paper studies.
+var extensionOrder = []string{
+	"victim", "multistream", "issuewidth", "tlb", "placement",
+	"subblock", "pagepolicy", "replacement", "methodology", "sampling",
+	"cml", "unifiedl2", "assoclatency", "interleave",
+	"speccontrast", "dualport", "writebuffer", "predict",
+}
+
+var exhibits = map[string]renderer{
+	"table1": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Table1(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table2": func(ibsim.Options) (string, error) { return ibsim.Table2(), nil },
+	"table3": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Table3(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table4": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Table4(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table5": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Table5(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table6": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Table6(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table7": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Table7(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"table8": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Table8(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"figure1": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Figure1(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"figure2": func(ibsim.Options) (string, error) { return ibsim.Figure2(), nil },
+	"figure3": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Figure3(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"figure4": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Figure4(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"figure5": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Figure5(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"figure6": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Figure6(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"figure7": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.Figure7(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"victim": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionVictim(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"multistream": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionMultiStream(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"issuewidth": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionIssueWidth(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"tlb": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionTLB(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"placement": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionPlacement(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"subblock": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.AblationSubBlock(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"pagepolicy": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.AblationPagePolicy(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"replacement": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.AblationReplacement(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"methodology": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.MethodologyValidation(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"sampling": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.SamplingStudy(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"cml": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionCML(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"unifiedl2": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionUnifiedL2(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"assoclatency": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionAssocLatency(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"interleave": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionInterleave(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"speccontrast": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.SPECContrast(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"dualport": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionDualPort(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"writebuffer": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.AblationWriteBuffer(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+	"predict": func(o ibsim.Options) (string, error) {
+		r, err := ibsim.ExtensionPredict(o)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	},
+}
+
+func main() {
+	which := flag.String("experiment", "all", "which exhibit to regenerate (table1..table8, figure1..figure7, extension names, all)")
+	ext := flag.Bool("extensions", false, "also run the beyond-the-paper extension/ablation studies")
+	n := flag.Int64("n", 2_000_000, "instructions simulated per workload")
+	trials := flag.Int("trials", 5, "trials for variability experiments (figure5)")
+	quiet := flag.Bool("q", false, "suppress progress timing")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	chart := flag.Bool("chart", false, "render figure1/figure7 as ASCII stacked-bar charts (as in the paper)")
+	flag.Parse()
+	if *chart {
+		exhibits["figure1"] = func(o ibsim.Options) (string, error) {
+			r, err := ibsim.Figure1(o)
+			if err != nil {
+				return "", err
+			}
+			return r.RenderChart(), nil
+		}
+		exhibits["figure7"] = func(o ibsim.Options) (string, error) {
+			r, err := ibsim.Figure7(o)
+			if err != nil {
+				return "", err
+			}
+			return r.RenderChart(), nil
+		}
+	}
+
+	opt := ibsim.Options{Instructions: *n, Trials: *trials}
+	names := exhibitOrder
+	if *ext {
+		names = append(append([]string{}, exhibitOrder...), extensionOrder...)
+	}
+	if *which != "all" {
+		name := strings.ToLower(*which)
+		if _, ok := exhibits[name]; !ok {
+			fmt.Fprintf(os.Stderr, "ibstables: unknown experiment %q (have %s; %s; all)\n",
+				*which, strings.Join(exhibitOrder, ", "), strings.Join(extensionOrder, ", "))
+			os.Exit(2)
+		}
+		names = []string{name}
+	}
+	for _, name := range names {
+		start := time.Now()
+		out, err := exhibits[name](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibstables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			out = toCSV(out)
+		}
+		fmt.Println(out)
+		if !*quiet {
+			fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
+		}
+	}
+}

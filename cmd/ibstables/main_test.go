@@ -1,0 +1,100 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ibsim"
+)
+
+// Every name advertised in the order lists must have a runner, and vice
+// versa.
+func TestExhibitMapComplete(t *testing.T) {
+	advertised := map[string]bool{}
+	for _, name := range append(append([]string{}, exhibitOrder...), extensionOrder...) {
+		if advertised[name] {
+			t.Errorf("duplicate exhibit name %q", name)
+		}
+		advertised[name] = true
+		if _, ok := exhibits[name]; !ok {
+			t.Errorf("exhibit %q advertised but has no runner", name)
+		}
+	}
+	for name := range exhibits {
+		if !advertised[name] {
+			t.Errorf("runner %q not reachable from any order list", name)
+		}
+	}
+}
+
+// Descriptive exhibits run instantly and produce content.
+func TestDescriptiveExhibits(t *testing.T) {
+	for _, name := range []string{"table2", "figure2"} {
+		out, err := exhibits[name](ibsim.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously short", name)
+		}
+	}
+}
+
+// A simulated exhibit runs end to end at a tiny budget.
+func TestSimulatedExhibitSmoke(t *testing.T) {
+	out, err := exhibits["table5"](ibsim.Options{Instructions: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CPIinstr (IBS)") {
+		t.Errorf("table5 output malformed:\n%s", out)
+	}
+}
+
+// Determinism: the same exhibit at the same options renders identically.
+func TestExhibitDeterminism(t *testing.T) {
+	opt := ibsim.Options{Instructions: 50_000}
+	a, err := exhibits["table4"](opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := exhibits["table4"](opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("table4 output not deterministic")
+	}
+}
+
+func TestToCSV(t *testing.T) {
+	out, err := exhibits["table5"](ibsim.Options{Instructions: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := toCSV(out)
+	if !strings.Contains(csv, "# Table 5") {
+		t.Errorf("CSV missing title comment:\n%s", csv)
+	}
+	if !strings.Contains(csv, "Next Level in Hierarchy,Main Memory,Ideal Off-chip Cache") {
+		t.Errorf("CSV row malformed:\n%s", csv)
+	}
+	if strings.Contains(csv, "---") {
+		t.Error("CSV contains rule lines")
+	}
+}
+
+func TestSplitCells(t *testing.T) {
+	cells := splitCells("Main Memory    0.34   1.80")
+	if len(cells) != 3 || cells[0] != "Main Memory" || cells[2] != "1.80" {
+		t.Fatalf("splitCells = %q", cells)
+	}
+}
+
+func TestJoinCSVQuoting(t *testing.T) {
+	got := joinCSV([]string{`a"b`, "c,d", "plain"})
+	want := `"a""b","c,d",plain`
+	if got != want {
+		t.Fatalf("joinCSV = %q, want %q", got, want)
+	}
+}

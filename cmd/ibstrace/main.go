@@ -1,0 +1,75 @@
+// Command ibstrace characterizes traces the way the paper's authors
+// characterized theirs: footprints, working sets, fully-associative LRU
+// miss-ratio curves, and sequential run lengths. It accepts either an
+// IBSTRACE file (produced by ibsgen) or a workload name to synthesize on the
+// fly.
+//
+// Usage:
+//
+//	ibstrace -file gs.ibstrace
+//	ibstrace -workload verilog -n 2000000
+//	ibstrace -workload gs -compare eqntott      # side-by-side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ibsim"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "IBSTRACE file to analyze")
+		workload = flag.String("workload", "", "workload to synthesize and analyze")
+		compare  = flag.String("compare", "", "second workload to analyze side by side")
+		n        = flag.Int64("n", 2_000_000, "instructions when synthesizing")
+		line     = flag.Int("line", 32, "line granularity in bytes")
+	)
+	flag.Parse()
+
+	switch {
+	case *file != "":
+		refs, err := ibsim.ReadTraceFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		a, err := ibsim.AnalyzeLocality(refs, *line)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("== %s ==\n%s", *file, a.Report())
+	case *workload != "":
+		if err := report(*workload, *line, *n); err != nil {
+			fail(err)
+		}
+		if *compare != "" {
+			fmt.Println()
+			if err := report(*compare, *line, *n); err != nil {
+				fail(err)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func report(name string, line int, n int64) error {
+	w, err := ibsim.LoadWorkload(name)
+	if err != nil {
+		return err
+	}
+	a, err := ibsim.AnalyzeWorkloadLocality(w, line, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== %s (%s) ==\n%s", w.Name, w.Description, a.Report())
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ibstrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestReport(t *testing.T) {
+	if err := report("eqntott", 32, 30_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportUnknownWorkload(t *testing.T) {
+	if err := report("nonesuch", 32, 1000); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestReportBadLineSize(t *testing.T) {
+	if err := report("eqntott", 24, 1000); err == nil {
+		t.Fatal("bad line size accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package ibsim_test
+
+import (
+	"fmt"
+
+	"ibsim"
+)
+
+// The examples below double as godoc documentation and as determinism
+// guards: every workload is seeded, so the printed numbers are exact and
+// any drift in the generator or simulators fails the example.
+
+func ExampleSimulateCache() {
+	w, _ := ibsim.LoadWorkload("gs")
+	st, _ := ibsim.SimulateCache(w, ibsim.CacheConfig{Size: 8192, LineSize: 32, Assoc: 1}, 500_000)
+	fmt.Printf("gs misses per 100 instructions: %.2f\n", 100*st.MissRatio())
+	// Output:
+	// gs misses per 100 instructions: 5.06
+}
+
+func ExampleSimulateFetch() {
+	w, _ := ibsim.LoadWorkload("verilog")
+	res, _ := ibsim.SimulateFetch(w, ibsim.FetchConfig{
+		L1:                ibsim.CacheConfig{Size: 8192, LineSize: 16, Assoc: 1},
+		Link:              ibsim.OnChipL2Link(),
+		StreamBufferLines: 6,
+	}, 300_000)
+	fmt.Printf("CPIinstr %.3f with %d stream-buffer hits\n", res.CPIinstr(), res.BufferHits)
+	// Output:
+	// CPIinstr 0.140 with 21613 stream-buffer hits
+}
+
+func ExampleLoadWorkload() {
+	w, err := ibsim.LoadWorkload("groff")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Description)
+	fmt.Printf("footprint: %d KB across %d domains\n", w.Footprint()/1024, len(w.ActiveDomains()))
+	// Output:
+	// GNU groff 1.09: nroff rewritten in C++, same input
+	// footprint: 357 KB across 3 domains
+}
+
+func ExampleAnalyzeWorkloadLocality() {
+	w, _ := ibsim.LoadWorkload("eqntott")
+	a, _ := ibsim.AnalyzeWorkloadLocality(w, 32, 200_000)
+	fmt.Printf("mean sequential run: %.1f instructions\n", a.MeanRunLength())
+	fmt.Printf("8-KB fully-assoc LRU miss ratio: %.2f%%\n", 100*a.MissRatioAt(8*1024))
+	// Output:
+	// mean sequential run: 11.3 instructions
+	// 8-KB fully-assoc LRU miss ratio: 0.18%
+}
+
+func ExampleWorkload_Scale() {
+	gcc, _ := ibsim.LoadWorkload("gcc")
+	bloated := gcc.Scale(1.5)
+	fmt.Printf("%s grows from %d to %d procedures\n",
+		gcc.Name, gcc.Domains[ibsim.User].Procs, bloated.Domains[ibsim.User].Procs)
+	// Output:
+	// gcc grows from 310 to 465 procedures
+}

@@ -1,0 +1,63 @@
+// Fetchtuning climbs the paper's Section 5 optimization ladder on one
+// workload, printing the L1 CPIinstr at each rung: baseline memory → on-chip
+// L2 → tuned line size → sequential prefetch → bypass buffers → pipelined
+// stream buffer. This is Figure 7 as an interactive walk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ibsim"
+)
+
+const instructions = 1_500_000
+
+func main() {
+	name := flag.String("workload", "verilog", "workload to tune for")
+	flag.Parse()
+
+	w, err := ibsim.LoadWorkload(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuning instruction fetch for %s (%s)\n\n", w.Name, w.Description)
+
+	l1 := ibsim.CacheConfig{Size: 8 * 1024, LineSize: 32, Assoc: 1}
+	run := func(label string, fc ibsim.FetchConfig) float64 {
+		res, err := ibsim.SimulateFetch(w, fc, instructions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-46s CPIinstr %.3f   (MPI %.2f/100)\n", label, res.CPIinstr(), 100*res.MPI())
+		return res.CPIinstr()
+	}
+
+	base := run("baseline: economy memory (30 cyc, 4 B/cyc)",
+		ibsim.FetchConfig{L1: l1, Link: ibsim.EconomyMemory()})
+	run("baseline: high-perf off-chip cache (12 cyc, 8 B/cyc)",
+		ibsim.FetchConfig{L1: l1, Link: ibsim.HighPerformanceMemory()})
+
+	link := ibsim.OnChipL2Link()
+	l2 := run("+ on-chip L2 (6 cyc, 16 B/cyc; L1 side only)",
+		ibsim.FetchConfig{L1: l1, Link: link})
+
+	tuned := l1
+	tuned.LineSize = 64
+	run("+ tuned 64-B line", ibsim.FetchConfig{L1: tuned, Link: link})
+
+	short := l1
+	short.LineSize = 16
+	run("+ 16-B line, prefetch 3",
+		ibsim.FetchConfig{L1: short, Link: link, PrefetchLines: 3})
+	run("+ bypass buffers",
+		ibsim.FetchConfig{L1: short, Link: link, PrefetchLines: 3, Bypass: true})
+	final := run("+ pipelined memory, 18-line stream buffer",
+		ibsim.FetchConfig{L1: short, Link: link, StreamBufferLines: 18})
+
+	fmt.Printf("\nL1 stalls reduced %.1fx from the economy baseline (%.2f -> %.2f);\n",
+		base/final, base, final)
+	fmt.Printf("on-chip L2 alone bought %.1fx — the paper's 'dramatic' first step.\n", base/l2)
+	fmt.Println("Note the stubborn floor: even fully tuned, CPIinstr stays ~0.1-0.2 under IBS.")
+}

@@ -1,0 +1,45 @@
+// Futurework runs the studies the paper's conclusion invites ("we hope to
+// encourage the exploration of these more sophisticated hardware mechanisms
+// on demanding workloads"): multi-way stream buffers, victim caches, the
+// multi-issue impact of the fetch floor, and the software-side alternative
+// of profile-guided code placement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ibsim"
+)
+
+func main() {
+	opt := ibsim.Options{Instructions: 500_000, Trials: 3}
+
+	fmt.Println("== Multi-way stream buffers (non-sequential prefetching) ==")
+	ms, err := ibsim.ExtensionMultiStream(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ms.Render())
+
+	fmt.Println("== Victim caches vs associativity ==")
+	vc, err := ibsim.ExtensionVictim(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(vc.Render())
+
+	fmt.Println("== The fetch floor on multi-issue machines ==")
+	iw, err := ibsim.ExtensionIssueWidth(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(iw.Render())
+
+	fmt.Println("== Profile-guided procedure placement (software-side) ==")
+	pl, err := ibsim.ExtensionPlacement(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pl.Render())
+}

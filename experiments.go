@@ -1,0 +1,83 @@
+package ibsim
+
+import "ibsim/internal/experiments"
+
+// Experiment constructors: one per table and figure of the paper's
+// evaluation section. Each returns a structured result with a Render method
+// producing an aligned text table; cmd/ibstables is a thin wrapper.
+
+// Experiment result types, re-exported.
+type (
+	// Table1Result is the SPEC memory-CPI characterization.
+	Table1Result = experiments.Table1Result
+	// Table3Result is the IBS vs SPEC memory-CPI characterization.
+	Table3Result = experiments.Table3Result
+	// Table4Result is the per-workload IBS MPI table.
+	Table4Result = experiments.Table4Result
+	// Table5Result holds the baseline CPIinstr values.
+	Table5Result = experiments.Table5Result
+	// Table6Result is the sequential prefetch-on-miss grid.
+	Table6Result = experiments.Table6Result
+	// Table7Result is the prefetch+bypass grid.
+	Table7Result = experiments.Table7Result
+	// Table8Result is the pipelined stream-buffer sweep.
+	Table8Result = experiments.Table8Result
+	// Figure1Result is the Three-Cs decomposition across cache sizes.
+	Figure1Result = experiments.Figure1Result
+	// Figure3Result is the L2 size × line-size sweep.
+	Figure3Result = experiments.Figure3Result
+	// Figure4Result is the L2 associativity sweep.
+	Figure4Result = experiments.Figure4Result
+	// Figure5Result is the page-mapping variability study.
+	Figure5Result = experiments.Figure5Result
+	// Figure6Result is the L1 line-size × bandwidth sweep.
+	Figure6Result = experiments.Figure6Result
+	// Figure7Result is the cumulative-optimization summary.
+	Figure7Result = experiments.Figure7Result
+)
+
+// Table1 reproduces "Memory System Performance of the SPEC Benchmarks".
+func Table1(opt Options) (*Table1Result, error) { return experiments.Table1(opt) }
+
+// Table2 renders the IBS workload inventory (descriptive).
+func Table2() string { return experiments.Table2() }
+
+// Table3 reproduces "Memory Performance of the IBS Workloads".
+func Table3(opt Options) (*Table3Result, error) { return experiments.Table3(opt) }
+
+// Table4 reproduces "Detailed I-cache Performance of the IBS Workloads".
+func Table4(opt Options) (*Table4Result, error) { return experiments.Table4(opt) }
+
+// Table5 reproduces "CPIinstr for Base System Configurations".
+func Table5(opt Options) (*Table5Result, error) { return experiments.Table5(opt) }
+
+// Table6 reproduces "Prefetching".
+func Table6(opt Options) (*Table6Result, error) { return experiments.Table6(opt) }
+
+// Table7 reproduces "Prefetching + Bypassing".
+func Table7(opt Options) (*Table7Result, error) { return experiments.Table7(opt) }
+
+// Table8 reproduces "Pipelined System with a Stream Buffer".
+func Table8(opt Options) (*Table8Result, error) { return experiments.Table8(opt) }
+
+// Figure1 reproduces "Capacity and Conflict Misses in SPEC92 and IBS".
+func Figure1(opt Options) (*Figure1Result, error) { return experiments.Figure1(opt) }
+
+// Figure2 renders the workload component structure (descriptive).
+func Figure2() string { return experiments.Figure2() }
+
+// Figure3 reproduces "Total CPIinstr vs. L2 Line Size".
+func Figure3(opt Options) (*Figure3Result, error) { return experiments.Figure3(opt) }
+
+// Figure4 reproduces "CPIinstr vs. L2 Associativity".
+func Figure4(opt Options) (*Figure4Result, error) { return experiments.Figure4(opt) }
+
+// Figure5 reproduces "Variability in CPIinstr versus I-cache Size and
+// Associativity".
+func Figure5(opt Options) (*Figure5Result, error) { return experiments.Figure5(opt) }
+
+// Figure6 reproduces "Bandwidth and L1 CPIinstr vs. Line Size".
+func Figure6(opt Options) (*Figure6Result, error) { return experiments.Figure6(opt) }
+
+// Figure7 reproduces "Summary of L1 and L2 Cache Optimizations".
+func Figure7(opt Options) (*Figure7Result, error) { return experiments.Figure7(opt) }

@@ -1,0 +1,85 @@
+package ibsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentWiring runs each public experiment constructor once at
+// a tiny budget and checks its rendering is non-trivial — guarding the
+// facade wiring and the render paths end to end. Shape assertions live in
+// internal/experiments; this is the public-API smoke pass.
+func TestEveryExperimentWiring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment once")
+	}
+	opt := Options{Instructions: 60_000, Trials: 2}
+
+	type namedRender struct {
+		name string
+		run  func() (string, error)
+	}
+	cases := []namedRender{
+		{"Table1", func() (string, error) { r, err := Table1(opt); return render(r, err) }},
+		{"Table3", func() (string, error) { r, err := Table3(opt); return render(r, err) }},
+		{"Table4", func() (string, error) { r, err := Table4(opt); return render(r, err) }},
+		{"Table5", func() (string, error) { r, err := Table5(opt); return render(r, err) }},
+		{"Table6", func() (string, error) { r, err := Table6(opt); return render(r, err) }},
+		{"Table7", func() (string, error) { r, err := Table7(opt); return render(r, err) }},
+		{"Table8", func() (string, error) { r, err := Table8(opt); return render(r, err) }},
+		{"Figure1", func() (string, error) { r, err := Figure1(opt); return render(r, err) }},
+		{"Figure3", func() (string, error) { r, err := Figure3(opt); return render(r, err) }},
+		{"Figure4", func() (string, error) { r, err := Figure4(opt); return render(r, err) }},
+		{"Figure5", func() (string, error) {
+			r, err := Figure5(Options{Instructions: 30_000, Trials: 2})
+			return render(r, err)
+		}},
+		{"Figure6", func() (string, error) { r, err := Figure6(opt); return render(r, err) }},
+		{"Figure7", func() (string, error) { r, err := Figure7(opt); return render(r, err) }},
+		{"ExtensionVictim", func() (string, error) { r, err := ExtensionVictim(opt); return render(r, err) }},
+		{"ExtensionMultiStream", func() (string, error) { r, err := ExtensionMultiStream(opt); return render(r, err) }},
+		{"ExtensionIssueWidth", func() (string, error) { r, err := ExtensionIssueWidth(opt); return render(r, err) }},
+		{"ExtensionTLB", func() (string, error) { r, err := ExtensionTLB(opt); return render(r, err) }},
+		{"ExtensionPlacement", func() (string, error) { r, err := ExtensionPlacement(opt); return render(r, err) }},
+		{"ExtensionCML", func() (string, error) { r, err := ExtensionCML(opt); return render(r, err) }},
+		{"ExtensionUnifiedL2", func() (string, error) { r, err := ExtensionUnifiedL2(opt); return render(r, err) }},
+		{"ExtensionAssocLatency", func() (string, error) { r, err := ExtensionAssocLatency(opt); return render(r, err) }},
+		{"ExtensionInterleave", func() (string, error) { r, err := ExtensionInterleave(opt); return render(r, err) }},
+		{"ExtensionDualPort", func() (string, error) { r, err := ExtensionDualPort(opt); return render(r, err) }},
+		{"SPECContrast", func() (string, error) { r, err := SPECContrast(opt); return render(r, err) }},
+		{"AblationSubBlock", func() (string, error) { r, err := AblationSubBlock(opt); return render(r, err) }},
+		{"AblationPagePolicy", func() (string, error) { r, err := AblationPagePolicy(opt); return render(r, err) }},
+		{"AblationReplacement", func() (string, error) { r, err := AblationReplacement(opt); return render(r, err) }},
+		{"AblationWriteBuffer", func() (string, error) { r, err := AblationWriteBuffer(opt); return render(r, err) }},
+		{"MethodologyValidation", func() (string, error) { r, err := MethodologyValidation(opt); return render(r, err) }},
+		{"SamplingStudy", func() (string, error) { r, err := SamplingStudy(opt); return render(r, err) }},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			out, err := c.run()
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			if len(out) < 80 || !strings.Contains(out, "\n") {
+				t.Fatalf("%s rendered %d bytes — malformed:\n%s", c.name, len(out), out)
+			}
+		})
+	}
+
+	// Descriptive exhibits.
+	if !strings.Contains(Table2(), "mpeg_play") {
+		t.Error("Table2 missing workloads")
+	}
+	if !strings.Contains(Figure2(), "Kernel") {
+		t.Error("Figure2 missing domains")
+	}
+}
+
+// render normalizes the (result, error) pair of any experiment.
+func render(r interface{ Render() string }, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}

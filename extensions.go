@@ -1,0 +1,151 @@
+package ibsim
+
+import "ibsim/internal/experiments"
+
+// Extension and ablation studies: the paper's named future work
+// (non-sequential prefetching, multi-issue impact), the software methods its
+// related-work section surveys (profile-guided placement, OS page
+// allocation), and design-choice ablations (victim caches, sub-block
+// allocation, replacement policy, TLB reach).
+
+// Extension/ablation result types, re-exported.
+type (
+	// VictimResult compares victim caches against associativity.
+	VictimResult = experiments.VictimResult
+	// MultiStreamResult evaluates multi-way stream buffers.
+	MultiStreamResult = experiments.MultiStreamResult
+	// IssueWidthResult quantifies the fetch floor at wider issue.
+	IssueWidthResult = experiments.IssueWidthResult
+	// TLBResult sweeps TLB reach under IBS.
+	TLBResult = experiments.TLBResult
+	// PlacementResult measures profile-guided procedure placement.
+	PlacementResult = experiments.PlacementResult
+	// SubBlockResult compares sector allocation with small-line prefetch.
+	SubBlockResult = experiments.SubBlockResult
+	// PagePolicyResult compares physical-page allocation policies.
+	PagePolicyResult = experiments.PagePolicyResult
+	// ReplacementResult compares cache replacement policies.
+	ReplacementResult = experiments.ReplacementResult
+	// MethodologyResult validates the independent-levels approximation.
+	MethodologyResult = experiments.MethodologyResult
+	// SamplingResult quantifies sampled-simulation error.
+	SamplingResult = experiments.SamplingResult
+	// CMLResult compares CML buffers against associativity and coloring.
+	CMLResult = experiments.CMLResult
+	// UnifiedL2Result quantifies unified-L2 data interference.
+	UnifiedL2Result = experiments.UnifiedL2Result
+	// AssocLatencyResult weighs L2 associativity against lookup latency.
+	AssocLatencyResult = experiments.AssocLatencyResult
+	// InterleaveResult sweeps domain-interleaving granularity.
+	InterleaveResult = experiments.InterleaveResult
+	// SPECContrastResult is the paper's closing SPEC counterfactual.
+	SPECContrastResult = experiments.SPECContrastResult
+	// DualPortResult compares dual-porting with raw bandwidth.
+	DualPortResult = experiments.DualPortResult
+	// WriteBufferResult sweeps write-buffer depth.
+	WriteBufferResult = experiments.WriteBufferResult
+	// PredictResult evaluates non-sequential (predictor-guided) prefetch.
+	PredictResult = experiments.PredictResult
+)
+
+// ExtensionVictim sweeps victim-cache sizes against L1 associativity.
+func ExtensionVictim(opt Options) (*VictimResult, error) {
+	return experiments.ExtensionVictim(opt)
+}
+
+// ExtensionMultiStream sweeps multi-way stream buffer configurations.
+func ExtensionMultiStream(opt Options) (*MultiStreamResult, error) {
+	return experiments.ExtensionMultiStream(opt)
+}
+
+// ExtensionIssueWidth computes the fetch-stall share at 1/2/4-wide issue.
+func ExtensionIssueWidth(opt Options) (*IssueWidthResult, error) {
+	return experiments.ExtensionIssueWidth(opt)
+}
+
+// ExtensionTLB sweeps TLB entries and associativity under IBS.
+func ExtensionTLB(opt Options) (*TLBResult, error) {
+	return experiments.ExtensionTLB(opt)
+}
+
+// ExtensionPlacement compares scattered vs profile-guided code layout.
+func ExtensionPlacement(opt Options) (*PlacementResult, error) {
+	return experiments.ExtensionPlacement(opt)
+}
+
+// AblationSubBlock compares 64-B/16-B sector allocation with 16-B lines plus
+// prefetch (the paper's Section 5.2 footnote).
+func AblationSubBlock(opt Options) (*SubBlockResult, error) {
+	return experiments.AblationSubBlock(opt)
+}
+
+// AblationPagePolicy compares physical-page allocation policies in a
+// physically-indexed cache.
+func AblationPagePolicy(opt Options) (*PagePolicyResult, error) {
+	return experiments.AblationPagePolicy(opt)
+}
+
+// AblationReplacement compares LRU, FIFO and random replacement.
+func AblationReplacement(opt Options) (*ReplacementResult, error) {
+	return experiments.AblationReplacement(opt)
+}
+
+// MethodologyValidation compares the paper's independent-levels CPI
+// decomposition against a combined two-level hierarchy simulation.
+func MethodologyValidation(opt Options) (*MethodologyResult, error) {
+	return experiments.MethodologyValidation(opt)
+}
+
+// SamplingStudy quantifies warm- and cold-sampling estimation error.
+func SamplingStudy(opt Options) (*SamplingResult, error) {
+	return experiments.SamplingStudy(opt)
+}
+
+// ExtensionCML compares CML-buffer page recoloring against associativity
+// and page-coloring allocation (the paper's Figure 5 discussion).
+func ExtensionCML(opt Options) (*CMLResult, error) {
+	return experiments.ExtensionCML(opt)
+}
+
+// ExtensionUnifiedL2 measures the instruction-side cost of sharing the L2
+// with data references (the paper's "lower bound" caveat).
+func ExtensionUnifiedL2(opt Options) (*UnifiedL2Result, error) {
+	return experiments.ExtensionUnifiedL2(opt)
+}
+
+// ExtensionAssocLatency weighs L2 associativity against the +1-cycle lookup
+// penalty (the paper's Section 5.1 footnote).
+func ExtensionAssocLatency(opt Options) (*AssocLatencyResult, error) {
+	return experiments.ExtensionAssocLatency(opt)
+}
+
+// ExtensionInterleave sweeps domain-interleaving granularity (the
+// Mach-vs-Ultrix structural knob).
+func ExtensionInterleave(opt Options) (*InterleaveResult, error) {
+	return experiments.ExtensionInterleave(opt)
+}
+
+// SPECContrast reproduces the paper's closing counterfactual: the memory
+// system SPEC92 would have designed.
+func SPECContrast(opt Options) (*SPECContrastResult, error) {
+	return experiments.SPECContrast(opt)
+}
+
+// ExtensionDualPort compares a dual-ported cache against raw bandwidth (the
+// Figure 6 aside).
+func ExtensionDualPort(opt Options) (*DualPortResult, error) {
+	return experiments.ExtensionDualPort(opt)
+}
+
+// AblationWriteBuffer sweeps the DECstation write-buffer depth.
+func AblationWriteBuffer(opt Options) (*WriteBufferResult, error) {
+	return experiments.AblationWriteBuffer(opt)
+}
+
+// ExtensionPredict evaluates next-line-predictor-guided (non-sequential)
+// prefetching against the sequential stream — the paper's named future work.
+// See the result type's documentation for the honest negative finding on
+// synthetic traces.
+func ExtensionPredict(opt Options) (*PredictResult, error) {
+	return experiments.ExtensionPredict(opt)
+}

@@ -1,0 +1,3 @@
+module ibsim
+
+go 1.22

@@ -1,0 +1,264 @@
+// Package ibsim is a trace-driven instruction-fetch simulation library that
+// reproduces "Instruction Fetching: Coping with Code Bloat" (Uhlig, Nagle,
+// Mudge, Sechrest and Emer; ISCA 1995).
+//
+// The library has three layers, all reachable from this package:
+//
+//   - Workloads: synthetic models of the paper's IBS benchmark suite (under
+//     Mach 3.0 and Ultrix 3.1 OS models) and SPEC-like workloads, generating
+//     complete multi-address-space reference traces.
+//   - Simulators: cache/TLB/VM substrates and the Section 5 fetch engines
+//     (blocking, prefetch-on-miss, bypass buffers, pipelined stream
+//     buffers), plus a whole-system DECstation 3100 CPI model.
+//   - Experiments: one constructor per table and figure of the paper's
+//     evaluation, each returning structured rows plus a text rendering.
+//
+// Quick start:
+//
+//	w, _ := ibsim.LoadWorkload("gs")
+//	res, _ := ibsim.SimulateCache(w, ibsim.CacheConfig{Size: 8192, LineSize: 32, Assoc: 1}, 1_000_000)
+//	fmt.Printf("gs misses per 100 instructions: %.2f\n", 100*res.MissRatio())
+package ibsim
+
+import (
+	"fmt"
+	"os"
+
+	"ibsim/internal/cache"
+	"ibsim/internal/cpi"
+	"ibsim/internal/experiments"
+	"ibsim/internal/fetch"
+	"ibsim/internal/memsys"
+	"ibsim/internal/synth"
+	"ibsim/internal/trace"
+	"ibsim/internal/vm"
+)
+
+// Core types, re-exported from the implementation packages.
+
+type (
+	// Workload is a synthetic workload model (an IBS or SPEC profile).
+	Workload = synth.Profile
+	// DomainProfile configures one protection domain of a custom workload.
+	DomainProfile = synth.DomainProfile
+	// DataProfile configures a workload's data-reference stream.
+	DataProfile = synth.DataProfile
+	// Ref is a single memory reference.
+	Ref = trace.Ref
+	// Domain identifies a protection domain (User, Kernel, BSDServer,
+	// XServer).
+	Domain = trace.Domain
+	// OSModel selects a workload's operating-system structure.
+	OSModel = synth.OSModel
+	// CacheConfig describes a cache geometry.
+	CacheConfig = cache.Config
+	// CacheStats reports cache activity.
+	CacheStats = cache.Stats
+	// Transfer models a memory link (latency + bandwidth).
+	Transfer = memsys.Transfer
+	// FetchResult reports a fetch engine's CPIinstr and MPI.
+	FetchResult = fetch.Result
+	// CPIComponents is a whole-system memory-CPI breakdown (Table 1
+	// columns).
+	CPIComponents = cpi.Components
+	// Options controls experiment scale.
+	Options = experiments.Options
+	// PagePolicy selects a physical-page allocation policy.
+	PagePolicy = vm.Policy
+)
+
+// Reference kinds and domains.
+const (
+	IFetch = trace.IFetch
+	DRead  = trace.DRead
+	DWrite = trace.DWrite
+
+	User      = trace.User
+	Kernel    = trace.Kernel
+	BSDServer = trace.BSDServer
+	XServer   = trace.XServer
+)
+
+// Page-allocation policies (Figure 5's mechanism).
+const (
+	RandomAlloc  = vm.RandomAlloc
+	Sequential   = vm.Sequential
+	PageColoring = vm.PageColoring
+	BinHopping   = vm.BinHopping
+)
+
+// Operating-system models.
+const (
+	// Monolithic is the Ultrix 3.1 structure.
+	Monolithic = synth.Monolithic
+	// Microkernel is the Mach 3.0 structure.
+	Microkernel = synth.Microkernel
+)
+
+// Workloads lists every registered workload name: the eight IBS benchmarks
+// under Mach 3.0 ("gs", "verilog", ...), their Ultrix 3.1 variants
+// ("gs/ultrix", ...), and the SPEC models ("eqntott", "specint92", ...).
+func Workloads() []string { return synth.Names() }
+
+// LoadWorkload returns the named workload model.
+func LoadWorkload(name string) (Workload, error) { return synth.Lookup(name) }
+
+// IBSMach returns the eight IBS workloads under the Mach 3.0 OS model.
+func IBSMach() []Workload { return synth.IBSMach() }
+
+// IBSUltrix returns the eight IBS workloads under the Ultrix 3.1 OS model.
+func IBSUltrix() []Workload { return synth.IBSUltrix() }
+
+// SPEC92 returns the three size-representative SPEC92 workloads.
+func SPEC92() []Workload { return synth.SPEC92() }
+
+// GenerateTrace produces n instructions of the workload's reference stream,
+// including interleaved data references.
+func GenerateTrace(w Workload, n int64) ([]Ref, error) { return synth.Trace(w, 0, n) }
+
+// GenerateInstructionTrace produces exactly n instruction-fetch references.
+func GenerateInstructionTrace(w Workload, n int64) ([]Ref, error) {
+	return synth.InstrTrace(w, 0, n)
+}
+
+// SimulateCache replays n instructions of w through a cache and returns its
+// statistics.
+func SimulateCache(w Workload, cfg CacheConfig, n int64) (CacheStats, error) {
+	refs, err := synth.InstrTrace(w, 0, n)
+	if err != nil {
+		return CacheStats{}, err
+	}
+	c, err := cache.New(cfg)
+	if err != nil {
+		return CacheStats{}, err
+	}
+	for _, r := range refs {
+		c.Access(r.Addr)
+	}
+	return c.Stats(), nil
+}
+
+// FetchConfig selects and parameterizes a fetch engine.
+type FetchConfig struct {
+	// L1 is the primary I-cache geometry.
+	L1 CacheConfig
+	// Link is the L1-to-next-level transfer (latency + bandwidth).
+	Link Transfer
+	// PrefetchLines enables sequential prefetch-on-miss of N lines.
+	PrefetchLines int
+	// Bypass adds bypass buffers: the processor resumes on the missing
+	// word instead of the full refill.
+	Bypass bool
+	// StreamBufferLines, when > 0, selects the pipelined stream-buffer
+	// engine instead (PrefetchLines and Bypass are then ignored).
+	StreamBufferLines int
+}
+
+// engine builds the configured engine.
+func (fc FetchConfig) engine() (fetch.Engine, error) {
+	switch {
+	case fc.StreamBufferLines > 0:
+		return fetch.NewStream(fc.L1, fc.Link, fc.StreamBufferLines)
+	case fc.Bypass:
+		return fetch.NewBypass(fc.L1, fc.Link, fc.PrefetchLines)
+	default:
+		return fetch.NewBlocking(fc.L1, fc.Link, fc.PrefetchLines)
+	}
+}
+
+// SimulateFetch runs n instructions of w through the configured fetch engine
+// and returns its CPIinstr result.
+func SimulateFetch(w Workload, fc FetchConfig, n int64) (FetchResult, error) {
+	refs, err := synth.InstrTrace(w, 0, n)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	e, err := fc.engine()
+	if err != nil {
+		return FetchResult{}, err
+	}
+	return fetch.Run(e, refs), nil
+}
+
+// SimulateSystem runs n instructions of w (with data references) through the
+// DECstation 3100 whole-system model and returns the memory-CPI breakdown
+// (Table 1's columns) and the user-mode execution share.
+func SimulateSystem(w Workload, n int64) (CPIComponents, float64, error) {
+	g, err := synth.NewGenerator(w, 0)
+	if err != nil {
+		return CPIComponents{}, 0, err
+	}
+	s := cpi.NewSystem()
+	for s.Instructions() < n {
+		r, _ := g.Next()
+		s.Process(r)
+	}
+	return s.Components(), s.UserShare(), nil
+}
+
+// WriteTraceFile generates n instructions of w (with data references) and
+// writes them to path in the IBSTRACE binary format.
+func WriteTraceFile(path string, w Workload, n int64) (written uint64, err error) {
+	refs, err := synth.Trace(w, 0, n)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("ibsim: creating trace file: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return trace.EncodeSeeker(f, trace.NewSliceSource(refs))
+}
+
+// ReadTraceFile loads an IBSTRACE file into memory.
+func ReadTraceFile(path string) ([]Ref, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ibsim: opening trace file: %w", err)
+	}
+	defer f.Close()
+	return trace.Decode(f)
+}
+
+// ReplayCache replays an already generated (or loaded) reference stream
+// through a cache, counting only instruction fetches.
+func ReplayCache(refs []Ref, cfg CacheConfig) (CacheStats, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return CacheStats{}, err
+	}
+	for _, r := range refs {
+		if r.Kind == IFetch {
+			c.Access(r.Addr)
+		}
+	}
+	return c.Stats(), nil
+}
+
+// ReplayFetch replays a reference stream through a configured fetch engine.
+func ReplayFetch(refs []Ref, fc FetchConfig) (FetchResult, error) {
+	e, err := fc.engine()
+	if err != nil {
+		return FetchResult{}, err
+	}
+	return fetch.Run(e, refs), nil
+}
+
+// Baseline memory systems (Table 5).
+
+// EconomyMemory returns the economy baseline link: 30-cycle latency, 4
+// bytes/cycle to main memory.
+func EconomyMemory() Transfer { return memsys.Economy().Memory }
+
+// HighPerformanceMemory returns the high-performance baseline link: 12-cycle
+// latency, 8 bytes/cycle to an ideal off-chip cache.
+func HighPerformanceMemory() Transfer { return memsys.HighPerformance().Memory }
+
+// OnChipL2Link returns the paper's on-chip L1↔L2 interface: 6-cycle latency,
+// 16 bytes/cycle.
+func OnChipL2Link() Transfer { return memsys.L1L2Link() }

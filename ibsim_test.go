@@ -1,0 +1,175 @@
+package ibsim
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestWorkloadsRegistry(t *testing.T) {
+	names := Workloads()
+	if len(names) != 23 {
+		t.Fatalf("Workloads() = %d entries", len(names))
+	}
+	w, err := LoadWorkload("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "gs" {
+		t.Fatalf("Name = %q", w.Name)
+	}
+	if _, err := LoadWorkload("bogus"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if len(IBSMach()) != 8 || len(IBSUltrix()) != 8 || len(SPEC92()) != 3 {
+		t.Fatal("suite constructors wrong")
+	}
+}
+
+func TestGenerateTrace(t *testing.T) {
+	w, _ := LoadWorkload("eqntott")
+	refs, err := GenerateTrace(w, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr := 0
+	for _, r := range refs {
+		if r.Kind == IFetch {
+			instr++
+		}
+	}
+	if instr < 10000 {
+		t.Fatalf("instructions = %d", instr)
+	}
+	only, err := GenerateInstructionTrace(w, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 5000 {
+		t.Fatalf("instruction trace = %d refs", len(only))
+	}
+	for _, r := range only {
+		if r.Kind != IFetch {
+			t.Fatal("data ref in instruction trace")
+		}
+	}
+}
+
+func TestSimulateCache(t *testing.T) {
+	w, _ := LoadWorkload("gs")
+	st, err := SimulateCache(w, CacheConfig{Size: 8192, LineSize: 32, Assoc: 1}, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Accesses != 200000 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	mpi := st.MissRatio()
+	if mpi < 0.02 || mpi > 0.10 {
+		t.Fatalf("gs MPI = %.4f, out of calibrated band", mpi)
+	}
+	if _, err := SimulateCache(w, CacheConfig{Size: 7}, 10); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestSimulateFetchEngines(t *testing.T) {
+	w, _ := LoadWorkload("verilog")
+	l1 := CacheConfig{Size: 8192, LineSize: 16, Assoc: 1}
+	link := OnChipL2Link()
+	block, err := SimulateFetch(w, FetchConfig{L1: l1, Link: link}, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bypass, err := SimulateFetch(w, FetchConfig{L1: l1, Link: link, PrefetchLines: 3, Bypass: true}, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := SimulateFetch(w, FetchConfig{L1: l1, Link: link, StreamBufferLines: 6}, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bypass.CPIinstr() < block.CPIinstr()) {
+		t.Errorf("bypass (%.3f) not below blocking (%.3f)", bypass.CPIinstr(), block.CPIinstr())
+	}
+	if !(stream.CPIinstr() < block.CPIinstr()) {
+		t.Errorf("stream (%.3f) not below blocking (%.3f)", stream.CPIinstr(), block.CPIinstr())
+	}
+	if stream.BufferHits == 0 {
+		t.Error("stream engine reported no buffer hits")
+	}
+}
+
+func TestSimulateSystem(t *testing.T) {
+	w, _ := LoadWorkload("sdet")
+	comp, user, err := SimulateSystem(w, 150000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Total() <= 0 {
+		t.Fatal("zero CPI")
+	}
+	// sdet is 10% user / 90% OS under Mach.
+	if user > 0.2 {
+		t.Fatalf("sdet user share = %.2f, want ~0.10", user)
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	w, _ := LoadWorkload("nroff")
+	path := filepath.Join(t.TempDir(), "nroff.ibstrace")
+	written, err := WriteTraceFile(path, w, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(refs)) != written {
+		t.Fatalf("read %d refs, wrote %d", len(refs), written)
+	}
+	// Replaying the file matches replaying a fresh generation.
+	fresh, err := GenerateTrace(w, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CacheConfig{Size: 8192, LineSize: 32, Assoc: 1}
+	a, err := ReplayCache(refs[:len(fresh)], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayCache(fresh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Misses != b.Misses {
+		t.Fatalf("file replay misses %d != fresh replay %d", a.Misses, b.Misses)
+	}
+}
+
+func TestReplayFetch(t *testing.T) {
+	w, _ := LoadWorkload("eqntott")
+	refs, _ := GenerateInstructionTrace(w, 50000)
+	res, err := ReplayFetch(refs, FetchConfig{
+		L1:   CacheConfig{Size: 8192, LineSize: 32, Assoc: 1},
+		Link: OnChipL2Link(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 50000 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+}
+
+func TestBaselineLinks(t *testing.T) {
+	if EconomyMemory().Latency != 30 || EconomyMemory().BytesPerCycle != 4 {
+		t.Error("economy link wrong")
+	}
+	if HighPerformanceMemory().Latency != 12 || HighPerformanceMemory().BytesPerCycle != 8 {
+		t.Error("high-performance link wrong")
+	}
+	if OnChipL2Link().Latency != 6 || OnChipL2Link().BytesPerCycle != 16 {
+		t.Error("on-chip link wrong")
+	}
+}

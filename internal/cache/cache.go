@@ -1,0 +1,441 @@
+// Package cache implements the set-associative cache models at the heart of
+// every experiment in the paper: configurable size, line size, associativity,
+// replacement policy, and optional sub-block (sector) allocation.
+//
+// The model is a behavioral tag store: it tracks which lines are resident and
+// answers hit/miss, leaving all *timing* (latency, bandwidth, fill, prefetch,
+// bypass) to package fetch/memsys. Addresses are whatever the caller says
+// they are — pass virtual addresses for a virtually-indexed cache, or
+// translate through internal/vm first for a physically-indexed one (that
+// distinction is the entire subject of the paper's Figure 5).
+package cache
+
+import (
+	"fmt"
+
+	"ibsim/internal/xrand"
+)
+
+// Replacement selects a victim-choice policy.
+type Replacement uint8
+
+const (
+	// LRU evicts the least-recently-used way. All paper experiments use LRU.
+	LRU Replacement = iota
+	// FIFO evicts the oldest-filled way.
+	FIFO
+	// Random evicts a uniformly random way.
+	Random
+)
+
+// String names the policy.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Replacement(%d)", uint8(r))
+	}
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	// Size is the total capacity in bytes.
+	Size int
+	// LineSize is the line (block) size in bytes; a power of two.
+	LineSize int
+	// Assoc is the set associativity. 0 means fully associative.
+	Assoc int
+	// Replacement is the victim-choice policy (default LRU).
+	Replacement Replacement
+	// SubBlock, if non-zero, enables sector allocation with sub-blocks of
+	// this many bytes: tags cover LineSize but validity is tracked per
+	// sub-block (the paper's footnote on 64-byte lines with 16-byte
+	// sub-block allocation). Must divide LineSize.
+	SubBlock int
+	// Seed seeds the Random replacement policy. Ignored for LRU/FIFO.
+	Seed uint64
+}
+
+// Lines returns the number of lines the configuration holds.
+func (c Config) Lines() int { return c.Size / c.LineSize }
+
+// Sets returns the number of sets (after resolving Assoc == 0 to fully
+// associative).
+func (c Config) Sets() int {
+	a := c.Assoc
+	if a == 0 {
+		a = c.Lines()
+	}
+	return c.Lines() / a
+}
+
+// String renders the geometry in the paper's style, e.g.
+// "8KB/32B/direct-mapped" or "64KB/32B/8-way".
+func (c Config) String() string {
+	assoc := "fully-assoc"
+	switch {
+	case c.Assoc == 1:
+		assoc = "direct-mapped"
+	case c.Assoc > 1:
+		assoc = fmt.Sprintf("%d-way", c.Assoc)
+	}
+	size := fmt.Sprintf("%dB", c.Size)
+	if c.Size%1024 == 0 {
+		size = fmt.Sprintf("%dKB", c.Size/1024)
+	}
+	return fmt.Sprintf("%s/%dB/%s", size, c.LineSize, assoc)
+}
+
+// validate checks the geometry and returns a normalized copy (Assoc == 0
+// resolved to the line count).
+func (c Config) validate() (Config, error) {
+	if c.Size <= 0 {
+		return c, fmt.Errorf("cache: size %d must be positive", c.Size)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return c, fmt.Errorf("cache: line size %d must be a positive power of two", c.LineSize)
+	}
+	if c.Size%c.LineSize != 0 {
+		return c, fmt.Errorf("cache: size %d not a multiple of line size %d", c.Size, c.LineSize)
+	}
+	lines := c.Size / c.LineSize
+	if c.Assoc == 0 {
+		c.Assoc = lines
+	}
+	if c.Assoc < 0 || c.Assoc > lines {
+		return c, fmt.Errorf("cache: associativity %d out of range [1, %d]", c.Assoc, lines)
+	}
+	if lines%c.Assoc != 0 {
+		return c, fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	sets := lines / c.Assoc
+	if sets&(sets-1) != 0 {
+		return c, fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	if c.SubBlock != 0 {
+		if c.SubBlock <= 0 || c.SubBlock&(c.SubBlock-1) != 0 {
+			return c, fmt.Errorf("cache: sub-block %d must be a positive power of two", c.SubBlock)
+		}
+		if c.LineSize%c.SubBlock != 0 {
+			return c, fmt.Errorf("cache: sub-block %d must divide line size %d", c.SubBlock, c.LineSize)
+		}
+		if c.LineSize/c.SubBlock > 64 {
+			return c, fmt.Errorf("cache: more than 64 sub-blocks per line unsupported")
+		}
+	}
+	return c, nil
+}
+
+// Stats counts cache activity. Hits+Misses == Accesses; sub-block caches
+// additionally split misses into full line misses and sub-block-only misses
+// (tag present, sub-block invalid).
+type Stats struct {
+	Accesses      int64
+	Hits          int64
+	Misses        int64
+	SubMisses     int64 // misses where the tag matched but sub-block was invalid
+	Fills         int64
+	Evictions     int64
+	Invalidations int64
+}
+
+// MissRatio returns Misses/Accesses, or 0 when no accesses occurred.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// way holds one cache line's bookkeeping.
+type way struct {
+	tag   uint64
+	valid bool
+	// stamp orders ways for LRU (updated on use) or FIFO (set on fill).
+	stamp uint64
+	// subValid is the per-sub-block validity mask for sector caches; for
+	// non-sector caches it is unused.
+	subValid uint64
+}
+
+// Cache is a set-associative tag store.
+type Cache struct {
+	cfg        Config
+	lineShift  uint
+	setShift   uint
+	setMask    uint64
+	subShift   uint
+	subPerLine uint
+	ways       []way // sets × assoc, row-major
+	clock      uint64
+	rng        *xrand.Source
+	stats      Stats
+}
+
+// New validates cfg and returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: log2(uint64(cfg.LineSize)),
+		setShift:  log2(uint64(cfg.Sets())),
+		setMask:   uint64(cfg.Sets() - 1),
+		ways:      make([]way, cfg.Lines()),
+	}
+	if cfg.SubBlock != 0 {
+		c.subShift = log2(uint64(cfg.SubBlock))
+		c.subPerLine = uint(cfg.LineSize / cfg.SubBlock)
+	}
+	if cfg.Replacement == Random {
+		c.rng = xrand.New(cfg.Seed ^ 0xcafef00d)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; for tests and literals with known-good
+// geometry.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Config returns the (normalized) configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Reset empties the cache and clears the counters.
+func (c *Cache) Reset() {
+	for i := range c.ways {
+		c.ways[i] = way{}
+	}
+	c.stats = Stats{}
+	c.clock = 0
+}
+
+// lineAddr returns the line-granular address.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr >> c.lineShift }
+
+// setIndex returns the set an address maps to.
+func (c *Cache) setIndex(lineAddr uint64) uint64 { return lineAddr & c.setMask }
+
+// tagOf returns the tag for a line address.
+func (c *Cache) tagOf(lineAddr uint64) uint64 { return lineAddr >> c.setShift }
+
+// subBit returns the sub-block validity bit for addr, or ^0 (all ones) for
+// non-sector caches so that any valid line satisfies the check.
+func (c *Cache) subBit(addr uint64) uint64 {
+	if c.subPerLine == 0 {
+		return ^uint64(0)
+	}
+	sub := (addr >> c.subShift) & uint64(c.subPerLine-1)
+	return 1 << sub
+}
+
+// find returns the index into c.ways of the way holding lineAddr, or -1.
+func (c *Cache) find(lineAddr uint64) int {
+	set := c.setIndex(lineAddr)
+	tag := c.tagOf(lineAddr)
+	base := int(set) * c.cfg.Assoc
+	for i := 0; i < c.cfg.Assoc; i++ {
+		w := &c.ways[base+i]
+		if w.valid && w.tag == tag {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// Access performs a demand reference: on a hit the replacement state is
+// updated; on a miss the line is filled (evicting a victim if needed). It
+// returns true on hit. This is the whole-cache convenience used by miss-ratio
+// experiments; timing-aware engines use Lookup + Fill to control fill policy.
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Accesses++
+	c.clock++
+	la := c.lineAddr(addr)
+	if i := c.find(la); i >= 0 {
+		w := &c.ways[i]
+		if c.subPerLine == 0 || w.subValid&c.subBit(addr) != 0 {
+			c.stats.Hits++
+			if c.cfg.Replacement == LRU {
+				w.stamp = c.clock
+			}
+			return true
+		}
+		// Sector cache: tag present but sub-block invalid. Fill this and all
+		// subsequent sub-blocks (the paper's sub-block refill policy).
+		c.stats.Misses++
+		c.stats.SubMisses++
+		c.fillSubBlocks(w, addr)
+		if c.cfg.Replacement == LRU {
+			w.stamp = c.clock
+		}
+		return false
+	}
+	c.stats.Misses++
+	c.fill(la, addr)
+	return false
+}
+
+// Lookup checks residency and updates replacement state on a hit, but does
+// NOT fill on a miss. Use with Fill to implement engines that cache lines
+// conditionally (stream buffers, use-only prefetch caching).
+func (c *Cache) Lookup(addr uint64) bool {
+	c.stats.Accesses++
+	c.clock++
+	la := c.lineAddr(addr)
+	if i := c.find(la); i >= 0 {
+		w := &c.ways[i]
+		if c.subPerLine == 0 || w.subValid&c.subBit(addr) != 0 {
+			c.stats.Hits++
+			if c.cfg.Replacement == LRU {
+				w.stamp = c.clock
+			}
+			return true
+		}
+		c.stats.Misses++
+		c.stats.SubMisses++
+		return false
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports residency without updating any state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.lineAddr(addr)
+	i := c.find(la)
+	if i < 0 {
+		return false
+	}
+	if c.subPerLine == 0 {
+		return true
+	}
+	return c.ways[i].subValid&c.subBit(addr) != 0
+}
+
+// Fill inserts the line containing addr (and, for sector caches, the
+// sub-block containing addr plus all subsequent sub-blocks). It does not
+// count as an access. Filling a resident line refreshes its replacement
+// stamp.
+func (c *Cache) Fill(addr uint64) {
+	c.FillEvict(addr)
+}
+
+// FillEvict is Fill, additionally reporting the line address (line-granular,
+// i.e. byte address of the line start) evicted to make room, if any. Victim
+// caches and exclusive hierarchies need the cast-out.
+func (c *Cache) FillEvict(addr uint64) (evicted uint64, wasValid bool) {
+	c.clock++
+	la := c.lineAddr(addr)
+	if i := c.find(la); i >= 0 {
+		w := &c.ways[i]
+		w.stamp = c.clock
+		if c.subPerLine != 0 {
+			c.fillSubBlocks(w, addr)
+		}
+		return 0, false
+	}
+	return c.fill(la, addr)
+}
+
+// fill allocates a way for lineAddr, evicting a victim if the set is full;
+// it returns the evicted line's byte address when a valid line was cast out.
+func (c *Cache) fill(lineAddr, addr uint64) (evicted uint64, wasValid bool) {
+	set := c.setIndex(lineAddr)
+	base := int(set) * c.cfg.Assoc
+	victim := -1
+	// Prefer an invalid way.
+	for i := 0; i < c.cfg.Assoc; i++ {
+		if !c.ways[base+i].valid {
+			victim = base + i
+			break
+		}
+	}
+	if victim < 0 {
+		c.stats.Evictions++
+		switch c.cfg.Replacement {
+		case Random:
+			victim = base + c.rng.Intn(c.cfg.Assoc)
+		default: // LRU and FIFO both evict the minimum stamp
+			victim = base
+			for i := 1; i < c.cfg.Assoc; i++ {
+				if c.ways[base+i].stamp < c.ways[victim].stamp {
+					victim = base + i
+				}
+			}
+		}
+		old := &c.ways[victim]
+		evicted = (old.tag<<c.setShift | set) << c.lineShift
+		wasValid = true
+	}
+	w := &c.ways[victim]
+	w.tag = c.tagOf(lineAddr)
+	w.valid = true
+	w.stamp = c.clock
+	w.subValid = 0
+	if c.subPerLine != 0 {
+		c.fillSubBlocks(w, addr)
+	}
+	c.stats.Fills++
+	return evicted, wasValid
+}
+
+// fillSubBlocks marks valid the sub-block containing addr and all subsequent
+// sub-blocks in the line ("the system only refills the missing sub-block and
+// all subsequent sub-blocks in the line").
+func (c *Cache) fillSubBlocks(w *way, addr uint64) {
+	sub := (addr >> c.subShift) & uint64(c.subPerLine-1)
+	for s := sub; s < uint64(c.subPerLine); s++ {
+		w.subValid |= 1 << s
+	}
+}
+
+// Invalidate removes the line containing addr, returning true if it was
+// resident.
+func (c *Cache) Invalidate(addr uint64) bool {
+	la := c.lineAddr(addr)
+	if i := c.find(la); i >= 0 {
+		c.ways[i] = way{}
+		c.stats.Invalidations++
+		return true
+	}
+	return false
+}
+
+// ResidentLines returns the number of currently valid lines; useful in tests
+// and occupancy studies.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for i := range c.ways {
+		if c.ways[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ASCII chart rendering for the exhibits that are bar charts in the paper
+// (Figures 1 and 7). Each bar is stacked from labeled segments, scaled to a
+// fixed width.
+
+// chartSegment is one stacked component of a bar.
+type chartSegment struct {
+	value float64
+	glyph byte
+}
+
+// chartBar is one labeled, stacked bar.
+type chartBar struct {
+	label    string
+	segments []chartSegment
+}
+
+// total returns the bar's stacked height.
+func (b chartBar) total() float64 {
+	sum := 0.0
+	for _, s := range b.segments {
+		sum += s.value
+	}
+	return sum
+}
+
+// renderBars draws horizontal stacked bars scaled so the longest bar fills
+// width glyphs, with the numeric total at the end of each bar.
+func renderBars(title string, bars []chartBar, legend string, width int) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	maxTotal := 0.0
+	labelWidth := 0
+	for _, bar := range bars {
+		if t := bar.total(); t > maxTotal {
+			maxTotal = t
+		}
+		if len(bar.label) > labelWidth {
+			labelWidth = len(bar.label)
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	for _, bar := range bars {
+		fmt.Fprintf(&b, "%-*s |", labelWidth, bar.label)
+		drawn := 0
+		want := 0.0
+		for _, seg := range bar.segments {
+			want += seg.value
+			// Cumulative rounding keeps stacked segment widths consistent.
+			upto := int(want/maxTotal*float64(width) + 0.5)
+			for ; drawn < upto; drawn++ {
+				b.WriteByte(seg.glyph)
+			}
+		}
+		fmt.Fprintf(&b, "%s %.2f\n", strings.Repeat(" ", width-drawn+1), bar.total())
+	}
+	b.WriteString(legend)
+	b.WriteString("\n")
+	return b.String()
+}
+
+// RenderChart draws Figure 1 as the paper's stacked bars: capacity misses
+// (#) under conflict misses (x), compulsory (.) on top, per cache size.
+func (f *Figure1Result) RenderChart() string {
+	panel := func(name string, pts []Figure1Point) string {
+		var bars []chartBar
+		for _, p := range pts {
+			bars = append(bars, chartBar{
+				label: fmt.Sprintf("%d KB", p.SizeKB),
+				segments: []chartSegment{
+					{p.Capacity, '#'},
+					{p.Conflict, 'x'},
+					{p.Compulsory, '.'},
+				},
+			})
+		}
+		return renderBars(
+			fmt.Sprintf("Figure 1 (%s): misses per 100 instructions", name),
+			bars, "legend: # capacity  x conflict  . compulsory", 50)
+	}
+	return panel("SPEC92", f.SPEC) + "\n" + panel("IBS", f.IBS)
+}
+
+// RenderChart draws Figure 7 as the paper's stacked bars: the L1 (#) and L2
+// (x) CPIinstr contributions at each optimization rung.
+func (f *Figure7Result) RenderChart() string {
+	panel := func(name string, rungs []Figure7Rung) string {
+		var bars []chartBar
+		for _, r := range rungs {
+			bars = append(bars, chartBar{
+				label: r.Name,
+				segments: []chartSegment{
+					{r.L1CPI, '#'},
+					{r.L2CPI, 'x'},
+				},
+			})
+		}
+		return renderBars(
+			fmt.Sprintf("Figure 7 (%s): cumulative optimizations, total CPIinstr", name),
+			bars, "legend: # L1 CPIinstr  x L2 CPIinstr", 50)
+	}
+	return panel("economy", f.Economy) + "\n" + panel("high-performance", f.HighPerf)
+}

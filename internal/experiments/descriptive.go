@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ibsim/internal/synth"
+	"ibsim/internal/trace"
+)
+
+// Table2 renders the IBS workload inventory (the paper's Table 2 is
+// descriptive: workload names, versions and the operating systems traced).
+func Table2() string {
+	header := []string{"Workload", "Description"}
+	var rows [][]string
+	for _, p := range synth.IBSMach() {
+		rows = append(rows, []string{p.Name, p.Description})
+	}
+	rows = append(rows,
+		[]string{"", ""},
+		[]string{"OS: Ultrix", "Version 3.1 from Digital Equipment Corporation (monolithic model)"},
+		[]string{"OS: Mach", "CMU Mach 3.0 microkernel + 4.3 BSD UNIX server (microkernel model)"},
+	)
+	return renderTable("Table 2: The IBS Workloads", header, rows)
+}
+
+// Figure2 renders the workload-structure inventory (the paper's Figure 2 is
+// a component diagram): for each IBS workload, the protection domains it
+// executes in, their code footprints, and their time shares.
+func Figure2() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: The Components of the SPEC92 and IBS Workloads\n\n")
+	b.WriteString("SPEC92 workloads: a single user task over a monolithic kernel\n")
+	b.WriteString("(OS used only to load text and for small file reads).\n\n")
+	header := []string{"Workload", "Domain", "Procedures", "Text (KB)", "Time Share"}
+	var rows [][]string
+	for _, p := range synth.IBSMach() {
+		for d := 0; d < trace.NumDomains; d++ {
+			dp := p.Domains[d]
+			if dp.TimeShare == 0 {
+				continue
+			}
+			rows = append(rows, []string{
+				p.Name,
+				trace.Domain(d).String(),
+				fmt.Sprintf("%d", dp.Procs),
+				fmt.Sprintf("%.0f", float64(dp.Procs*dp.MeanProcBytes)/1024),
+				pct(dp.TimeShare),
+			})
+		}
+	}
+	b.WriteString(renderTable("IBS under Mach 3.0: multi-domain structure", header, rows))
+	return b.String()
+}

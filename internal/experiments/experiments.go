@@ -1,0 +1,263 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment has a constructor returning a structured
+// result plus a Render method that prints rows/series in the layout of the
+// paper's exhibit; cmd/ibstables and bench_test.go are thin wrappers over
+// this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"ibsim/internal/cache"
+	"ibsim/internal/fetch"
+	"ibsim/internal/memsys"
+	"ibsim/internal/synth"
+	"ibsim/internal/trace"
+)
+
+// Options control experiment scale. The zero value is usable: defaults are
+// applied by (&Options{}).withDefaults().
+type Options struct {
+	// Instructions is the per-workload instruction budget (default 2M; the
+	// paper used ~25M-reference traces per workload).
+	Instructions int64
+	// Seed offsets every workload's generation seed; 0 keeps the shipped
+	// profile seeds (the calibrated configuration).
+	Seed uint64
+	// Trials is the number of Tapeworm-style repeat runs for variability
+	// experiments (default 5, as in Figure 5).
+	Trials int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instructions <= 0 {
+		o.Instructions = 2_000_000
+	}
+	if o.Trials <= 0 {
+		o.Trials = 5
+	}
+	return o
+}
+
+// Canonical configurations shared by the Section 5 experiments.
+
+// BaseL1 returns the paper's constrained primary cache: 8-KB direct-mapped,
+// 32-byte lines.
+func BaseL1() cache.Config {
+	return cache.Config{Size: 8192, LineSize: 32, Assoc: 1}
+}
+
+// baseL1WithLine returns the base L1 with a different line size.
+func baseL1WithLine(lineSize int) cache.Config {
+	return cache.Config{Size: 8192, LineSize: lineSize, Assoc: 1}
+}
+
+// ibsProfiles returns the Mach IBS suite, the workload set Section 5
+// evaluates against.
+func ibsProfiles() []synth.Profile { return synth.IBSMach() }
+
+// specProfiles returns the SPEC92 representatives.
+func specProfiles() []synth.Profile { return synth.SPEC92() }
+
+// forEachTrace generates each profile's instruction-only trace once and
+// hands it to f; traces are not retained across calls, bounding memory to
+// one workload at a time.
+func forEachTrace(profiles []synth.Profile, opt Options, f func(p synth.Profile, refs []trace.Ref) error) error {
+	for _, p := range profiles {
+		refs, err := synth.InstrTrace(p, opt.Seed, opt.Instructions)
+		if err != nil {
+			return err
+		}
+		if err := f(p, refs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceWorkers bounds concurrent per-workload simulations: each worker holds
+// one workload's trace in memory (~16 bytes/ref), so the bound also caps
+// memory.
+func traceWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 6 {
+		w = 6
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// mapTraces runs worker over every profile's instruction trace concurrently
+// and returns per-profile results in profile order, so reductions stay
+// deterministic regardless of scheduling.
+func mapTraces[T any](profiles []synth.Profile, opt Options, worker func(p synth.Profile, refs []trace.Ref) (T, error)) ([]T, error) {
+	results := make([]T, len(profiles))
+	errs := make([]error, len(profiles))
+	sem := make(chan struct{}, traceWorkers())
+	var wg sync.WaitGroup
+	for i := range profiles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			refs, err := synth.InstrTrace(profiles[i], opt.Seed, opt.Instructions)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = worker(profiles[i], refs)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// mapProfiles runs worker over profiles concurrently (bounded by
+// traceWorkers) and returns results in profile order. Unlike mapTraces, the
+// worker generates its own reference stream — used by whole-system
+// experiments that need interleaved data references.
+func mapProfiles[T any](profiles []synth.Profile, worker func(p synth.Profile) (T, error)) ([]T, error) {
+	results := make([]T, len(profiles))
+	errs := make([]error, len(profiles))
+	sem := make(chan struct{}, traceWorkers())
+	var wg sync.WaitGroup
+	for i := range profiles {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = worker(profiles[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// meanOf averages per-profile scalars in order.
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// suiteMeanMPI simulates one cache geometry over every profile and returns
+// the suite-mean misses per instruction.
+func suiteMeanMPI(profiles []synth.Profile, cfg cache.Config, opt Options) (float64, error) {
+	per, err := mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) (float64, error) {
+		c, err := cache.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range refs {
+			c.Access(r.Addr)
+		}
+		st := c.Stats()
+		return float64(st.Misses) / float64(st.Accesses), nil
+	})
+	return meanOf(per), err
+}
+
+// suiteMeanEngineCPI runs an engine factory over every profile and returns
+// the suite-mean CPIinstr (and MPI).
+func suiteMeanEngineCPI(profiles []synth.Profile, opt Options, mk func() (fetch.Engine, error)) (cpiMean, mpiMean float64, err error) {
+	per, err := mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) ([2]float64, error) {
+		e, err := mk()
+		if err != nil {
+			return [2]float64{}, err
+		}
+		res := fetch.Run(e, refs)
+		return [2]float64{res.CPIinstr(), res.MPI()}, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, v := range per {
+		cpiMean += v[0] / float64(len(per))
+		mpiMean += v[1] / float64(len(per))
+	}
+	return cpiMean, mpiMean, nil
+}
+
+// l1CPI returns the suite-mean L1 CPIinstr for a blocking L1 behind the
+// given link.
+func l1CPI(profiles []synth.Profile, cfg cache.Config, link memsys.Transfer, opt Options) (float64, error) {
+	c, _, err := suiteMeanEngineCPI(profiles, opt, func() (fetch.Engine, error) {
+		return fetch.NewBlocking(cfg, link, 0)
+	})
+	return c, err
+}
+
+// l2CPI returns the suite-mean L2 contribution: an L2 cache of the given
+// geometry backed by mem, simulated over the full instruction stream (the
+// paper's methodology for the L2 contribution).
+func l2CPI(profiles []synth.Profile, l2 cache.Config, mem memsys.Transfer, opt Options) (float64, error) {
+	c, _, err := suiteMeanEngineCPI(profiles, opt, func() (fetch.Engine, error) {
+		return fetch.NewBlocking(l2, mem, 0)
+	})
+	return c, err
+}
+
+// renderTable aligns rows of cells into a text table. Header cells are
+// separated from body rows by a rule.
+func renderTable(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(title)
+	b.WriteString("\n")
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteString("\n")
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,446 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testOpt keeps integration runs quick; shape assertions below are robust at
+// this scale (they check orderings, not absolute values).
+var testOpt = Options{Instructions: 300_000, Trials: 3}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range res.Rows {
+		byName[r.Suite] = r
+		if r.UserShare < 0.9 {
+			t.Errorf("%s user share %.2f — SPEC should be >90%% user", r.Suite, r.UserShare)
+		}
+		if r.Components.Total() <= 0 {
+			t.Errorf("%s zero total CPI", r.Suite)
+		}
+	}
+	// fp suites are dominated by data misses; int suites are not.
+	if byName["specfp89"].Components.Data < 2*byName["specint89"].Components.Data {
+		t.Errorf("fp89 CPIdata (%.3f) not well above int89 (%.3f)",
+			byName["specfp89"].Components.Data, byName["specint89"].Components.Data)
+	}
+	if !strings.Contains(res.Render(), "specfp92") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := Table3(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	mach, ultrix, int92 := res.Rows[0], res.Rows[1], res.Rows[2]
+	if mach.Instr <= ultrix.Instr {
+		t.Errorf("Mach CPIinstr (%.3f) not above Ultrix (%.3f)", mach.Instr, ultrix.Instr)
+	}
+	if ultrix.Instr <= int92.Instr {
+		t.Errorf("IBS CPIinstr (%.3f) not above SPEC (%.3f)", ultrix.Instr, int92.Instr)
+	}
+	if mach.OSShare <= int92.OSShare {
+		t.Errorf("IBS OS share (%.2f) not above SPEC (%.2f)", mach.OSShare, int92.OSShare)
+	}
+	if !strings.Contains(res.Render(), "IBS (Mach 3.0)") {
+		t.Error("render missing suite")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	res, err := Table4(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Headline claims: IBS/Mach ≈ 4x SPEC; Mach > Ultrix; groff > nroff.
+	if res.MachAvg < 2.5*res.SPECAvg {
+		t.Errorf("Mach avg %.2f not ≫ SPEC avg %.2f", res.MachAvg, res.SPECAvg)
+	}
+	if res.MachAvg <= res.UltrixAvg {
+		t.Errorf("Mach avg %.2f not above Ultrix avg %.2f", res.MachAvg, res.UltrixAvg)
+	}
+	var nroff, groff float64
+	for _, r := range res.Rows {
+		switch r.Workload {
+		case "nroff":
+			nroff = r.MPI
+		case "groff":
+			groff = r.MPI
+		}
+	}
+	if groff <= 1.2*nroff {
+		t.Errorf("groff MPI %.2f not well above nroff %.2f (C++ penalty)", groff, nroff)
+	}
+	// Component shares match the paper's Table 4 (deficit scheduling).
+	for _, r := range res.Rows {
+		if r.Workload == "mpeg_play" {
+			if r.User < 0.37 || r.User > 0.43 {
+				t.Errorf("mpeg_play user share %.2f, want ~0.40", r.User)
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Average") {
+		t.Error("render missing averages")
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	res, err := Table5(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IBS pays far more than SPEC in both configurations; economy is worse
+	// than high-performance for everyone.
+	if res.EconomyIBS < 2*res.EconomySPEC {
+		t.Errorf("economy IBS %.2f not ≫ SPEC %.2f", res.EconomyIBS, res.EconomySPEC)
+	}
+	if res.EconomyIBS <= res.HighPerfIBS {
+		t.Errorf("economy %.2f not worse than high-perf %.2f", res.EconomyIBS, res.HighPerfIBS)
+	}
+	if res.HighPerfSPEC <= 0 {
+		t.Error("zero CPI")
+	}
+	if !strings.Contains(res.Render(), "Main Memory") {
+		t.Error("render missing parameters")
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	res, err := Table6(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Grid
+	// Grid is depths {0..3} × lines {16,32,64}.
+	if len(g.CPI) != 4 || len(g.CPI[0]) != 3 {
+		t.Fatalf("grid shape %dx%d", len(g.CPI), len(g.CPI[0]))
+	}
+	// Prefetching 16-byte lines monotonically helps (the paper's column).
+	for d := 1; d < 4; d++ {
+		if g.CPI[d][0] >= g.CPI[d-1][0] {
+			t.Errorf("16B prefetch depth %d (%.3f) not below depth %d (%.3f)",
+				d, g.CPI[d][0], d-1, g.CPI[d-1][0])
+		}
+	}
+	// The paper's headline: 16B line + 3 prefetches beats a 64B line.
+	if g.CPI[3][0] >= g.CPI[0][2] {
+		t.Errorf("(16B, N=3) %.3f not below (64B, N=0) %.3f", g.CPI[3][0], g.CPI[0][2])
+	}
+	if !strings.Contains(res.Render(), "—") {
+		t.Error("render missing em-dash cells")
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	res, err := Table7(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bypassing helps at every populated cell with larger lines.
+	for d := 0; d < 4; d++ {
+		for l := 1; l < 3; l++ { // 32B and 64B columns
+			if res.Bypass.CPI[d][l] >= res.NoBypass.CPI[d][l] {
+				t.Errorf("bypass cell d=%d l=%d (%.3f) not below no-bypass (%.3f)",
+					d, l, res.Bypass.CPI[d][l], res.NoBypass.CPI[d][l])
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "Table 7b") {
+		t.Error("render missing bypass panel")
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	res, err := Table8(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Deeper stream buffers monotonically help at both bandwidths, with
+	// most of the gain by 6 lines (the paper's observation).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].CPI16 >= res.Rows[i-1].CPI16 {
+			t.Errorf("16B/cyc depth %d (%.3f) not below depth %d (%.3f)",
+				res.Rows[i].Lines, res.Rows[i].CPI16, res.Rows[i-1].Lines, res.Rows[i-1].CPI16)
+		}
+		if res.Rows[i].CPI32 >= res.Rows[i-1].CPI32 {
+			t.Errorf("32B/cyc depth %d not below previous", res.Rows[i].Lines)
+		}
+	}
+	gainAt6 := res.Rows[0].CPI16 - res.Rows[3].CPI16
+	gainTotal := res.Rows[0].CPI16 - res.Rows[5].CPI16
+	if gainAt6 < 0.7*gainTotal {
+		t.Errorf("gain by 6 lines (%.3f) not the bulk of total gain (%.3f)", gainAt6, gainTotal)
+	}
+	if !strings.Contains(res.Render(), "Stream Buffer") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	res, err := Figure1(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SPEC) != 6 || len(res.IBS) != 6 {
+		t.Fatalf("series lengths %d/%d", len(res.SPEC), len(res.IBS))
+	}
+	for i := range res.IBS {
+		if res.IBS[i].Total < res.SPEC[i].Total {
+			t.Errorf("IBS MPI (%.2f) below SPEC (%.2f) at %dKB", res.IBS[i].Total, res.SPEC[i].Total, res.IBS[i].SizeKB)
+		}
+		// Components sum to total.
+		sum := res.IBS[i].Capacity + res.IBS[i].Conflict + res.IBS[i].Compulsory
+		if diff := sum - res.IBS[i].Total; diff > 0.01 || diff < -0.01 {
+			t.Errorf("components (%.2f) != total (%.2f) at %dKB", sum, res.IBS[i].Total, res.IBS[i].SizeKB)
+		}
+	}
+	// Monotone decline with size for IBS.
+	for i := 1; i < len(res.IBS); i++ {
+		if res.IBS[i].Total > res.IBS[i-1].Total {
+			t.Errorf("IBS MPI not declining at %dKB", res.IBS[i].SizeKB)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	res, err := Figure3(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Economy) != 30 || len(res.HighPerf) != 30 {
+		t.Fatalf("points = %d/%d", len(res.Economy), len(res.HighPerf))
+	}
+	// Bigger L2 at fixed line size lowers total CPI (economy).
+	get := func(pts []Figure3Point, kb, line int) Figure3Point {
+		for _, p := range pts {
+			if p.L2SizeKB == kb && p.L2LineSize == line {
+				return p
+			}
+		}
+		t.Fatalf("missing point %d/%d", kb, line)
+		return Figure3Point{}
+	}
+	if get(res.Economy, 256, 64).Total() >= get(res.Economy, 16, 64).Total() {
+		t.Error("256KB L2 not better than 16KB L2 (economy)")
+	}
+	// The paper's claim: a 64-KB on-chip L2 with economy memory roughly
+	// matches the high-performance baseline (we allow 15% at reduced trace
+	// lengths — our synthetic L2 miss tail is slightly fatter than the
+	// paper's, see EXPERIMENTS.md).
+	if get(res.Economy, 64, 64).Total() >= 1.15*res.HighPerfBase {
+		t.Errorf("economy+64KB L2 (%.2f) not near high-perf baseline (%.2f)",
+			get(res.Economy, 64, 64).Total(), res.HighPerfBase)
+	}
+	if !strings.Contains(res.Render(), "economy") {
+		t.Error("render missing panel")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	res, err := Figure4(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Economy) != 4 {
+		t.Fatalf("points = %d", len(res.Economy))
+	}
+	// Associativity monotonically helps, biggest step 1→2 (economy).
+	for i := 1; i < 4; i++ {
+		if res.Economy[i].L2CPI >= res.Economy[i-1].L2CPI {
+			t.Errorf("economy L2 CPI not falling at assoc %d", res.Economy[i].Assoc)
+		}
+	}
+	step12 := res.Economy[0].L2CPI - res.Economy[1].L2CPI
+	step28 := res.Economy[1].L2CPI - res.Economy[3].L2CPI
+	if step12 <= 0 || step28 < 0 {
+		t.Error("associativity steps not positive")
+	}
+	if !strings.Contains(res.Render(), "8-way") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	res, err := Figure5(Options{Instructions: 150_000, Trials: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workloads × 9 sizes × 3 assocs.
+	if len(res.Points) != 4*9*3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Variability exists somewhere for the IBS workloads, and associativity
+	// reduces the per-workload maximum (the paper's point).
+	maxSD := func(workload string, assoc int) float64 {
+		m := 0.0
+		for _, p := range res.Points {
+			if p.Workload == workload && p.Assoc == assoc && p.StdDev > m {
+				m = p.StdDev
+			}
+		}
+		return m
+	}
+	for _, w := range []string{"verilog", "gs"} {
+		if maxSD(w, 1) <= 0 {
+			t.Errorf("%s shows no direct-mapped variability", w)
+		}
+		if maxSD(w, 4) >= maxSD(w, 1) {
+			t.Errorf("%s: 4-way variability (%.4f) not below direct-mapped (%.4f)",
+				w, maxSD(w, 4), maxSD(w, 1))
+		}
+	}
+	if !strings.Contains(res.Render(), "verilog") {
+		t.Error("render missing workload")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res, err := Figure6(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5*7 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Higher bandwidth shifts the optimal line size up (or keeps it equal).
+	opt4, _ := res.Optimal(4)
+	opt64, cpi64 := res.Optimal(64)
+	if opt64 < opt4 {
+		t.Errorf("optimal line at 64 B/cyc (%d) below optimal at 4 B/cyc (%d)", opt64, opt4)
+	}
+	_, cpi4 := res.Optimal(4)
+	if cpi64 >= cpi4 {
+		t.Errorf("64 B/cyc best CPI (%.3f) not below 4 B/cyc (%.3f)", cpi64, cpi4)
+	}
+	if !strings.Contains(res.Render(), "*") {
+		t.Error("render missing optima markers")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	res, err := Figure7(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Economy) != 6 || len(res.HighPerf) != 6 {
+		t.Fatalf("rungs = %d/%d", len(res.Economy), len(res.HighPerf))
+	}
+	// The ladder monotonically improves for the economy configuration, and
+	// the biggest single gain is adding the on-chip L2 (the paper's
+	// "improvement is quite dramatic in the case of the economy system").
+	for i := 1; i < 6; i++ {
+		if res.Economy[i].Total() >= res.Economy[i-1].Total() {
+			t.Errorf("economy rung %q (%.2f) not below %q (%.2f)",
+				res.Economy[i].Name, res.Economy[i].Total(),
+				res.Economy[i-1].Name, res.Economy[i-1].Total())
+		}
+	}
+	l2gain := res.Economy[0].Total() - res.Economy[1].Total()
+	for i := 2; i < 6; i++ {
+		gain := res.Economy[i-1].Total() - res.Economy[i].Total()
+		if gain > l2gain {
+			t.Errorf("rung %q gain (%.2f) exceeds the L2 gain (%.2f)", res.Economy[i].Name, gain, l2gain)
+		}
+	}
+	// Final high-performance system: a stubborn CPIinstr floor remains.
+	final := res.HighPerf[5].Total()
+	if final <= 0.02 {
+		t.Errorf("final CPIinstr %.3f — the paper's point is a stubborn floor remains", final)
+	}
+	if !strings.Contains(res.Render(), "Pipelining") {
+		t.Error("render missing rung")
+	}
+}
+
+func TestDescriptive(t *testing.T) {
+	t2 := Table2()
+	for _, w := range []string{"mpeg_play", "groff", "Mach"} {
+		if !strings.Contains(t2, w) {
+			t.Errorf("Table2 missing %q", w)
+		}
+	}
+	f2txt := Figure2()
+	for _, w := range []string{"Kernel", "BSD", "Time Share"} {
+		if !strings.Contains(f2txt, w) {
+			t.Errorf("Figure2 missing %q", w)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Instructions != 2_000_000 || o.Trials != 5 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o2 := Options{Instructions: 5, Trials: 2}.withDefaults()
+	if o2.Instructions != 5 || o2.Trials != 2 {
+		t.Fatalf("overrides lost: %+v", o2)
+	}
+}
+
+func TestRenderCharts(t *testing.T) {
+	f1, err := Figure1(Options{Instructions: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := f1.RenderChart()
+	for _, want := range []string{"Figure 1 (IBS)", "legend", "#", "8 KB"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("Figure1 chart missing %q:\n%s", want, chart)
+		}
+	}
+	// The 8-KB IBS bar must be the longest (MPI declines with size).
+	lines := strings.Split(chart, "\n")
+	var len8, len256 int
+	inIBS := false
+	for _, l := range lines {
+		if strings.Contains(l, "(IBS)") {
+			inIBS = true
+		}
+		if !inIBS {
+			continue
+		}
+		if strings.HasPrefix(l, "8 KB") {
+			len8 = strings.Count(l, "#") + strings.Count(l, "x") + strings.Count(l, ".")
+		}
+		if strings.HasPrefix(l, "256 KB") {
+			len256 = strings.Count(l, "#") + strings.Count(l, "x") + strings.Count(l, ".")
+		}
+	}
+	if len8 <= len256 {
+		t.Errorf("IBS 8KB bar (%d glyphs) not longer than 256KB bar (%d)", len8, len256)
+	}
+
+	f7, err := Figure7(Options{Instructions: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c7 := f7.RenderChart()
+	for _, want := range []string{"Pipelining", "Baseline", "x L2 CPIinstr"} {
+		if !strings.Contains(c7, want) {
+			t.Errorf("Figure7 chart missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionVictim(t *testing.T) {
+	res, err := ExtensionVictim(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Victim caches monotonically help and never beat the baseline upward.
+	prev := res.Baseline
+	for _, row := range res.Rows {
+		if row.CPI > prev+1e-9 {
+			t.Errorf("%d-line victim cache (%.3f) worse than previous (%.3f)", row.VictimLines, row.CPI, prev)
+		}
+		prev = row.CPI
+	}
+	// A 15-line victim cache recovers a meaningful part of the 2-way gap.
+	gap := res.Baseline - res.TwoWay
+	recovered := res.Baseline - res.Rows[len(res.Rows)-1].CPI
+	if gap > 0 && recovered < 0.2*gap {
+		t.Errorf("15-line victim cache recovered %.3f of the %.3f assoc gap", recovered, gap)
+	}
+	if !strings.Contains(res.Render(), "victim") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestExtensionMultiStream(t *testing.T) {
+	res, err := ExtensionMultiStream(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byKey := map[[2]int]float64{}
+	for _, row := range res.Rows {
+		byKey[[2]int{row.Ways, row.Depth}] = row.CPI
+	}
+	// More ways helps at fixed depth (IBS interleaves domains).
+	for _, d := range []int{2, 4, 6} {
+		if byKey[[2]int{4, d}] >= byKey[[2]int{1, d}] {
+			t.Errorf("4-way (%.3f) not below 1-way (%.3f) at depth %d",
+				byKey[[2]int{4, d}], byKey[[2]int{1, d}], d)
+		}
+	}
+	// Deeper helps at fixed ways.
+	if byKey[[2]int{2, 6}] >= byKey[[2]int{2, 2}] {
+		t.Error("depth 6 not below depth 2 at 2 ways")
+	}
+	if !strings.Contains(res.Render(), "Stream ways") {
+		t.Error("render missing grid")
+	}
+}
+
+func TestExtensionIssueWidth(t *testing.T) {
+	res, err := ExtensionIssueWidth(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.CPIinstr <= 0 {
+		t.Fatal("zero floor")
+	}
+	// The paper's point: the share grows with issue width.
+	if !(res.Rows[0].FetchShare < res.Rows[1].FetchShare && res.Rows[1].FetchShare < res.Rows[2].FetchShare) {
+		t.Errorf("fetch share not increasing with issue width: %+v", res.Rows)
+	}
+	// At quad issue the floor should be a large share of execution.
+	if res.Rows[2].FetchShare < 0.15 {
+		t.Errorf("quad-issue fetch share %.2f implausibly small", res.Rows[2].FetchShare)
+	}
+	if !strings.Contains(res.Render(), "4-issue") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestExtensionTLB(t *testing.T) {
+	res, err := ExtensionTLB(Options{Instructions: 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byKey := map[[2]int]float64{}
+	for _, row := range res.Rows {
+		byKey[[2]int{row.Entries, row.Assoc}] = row.MissesPer100
+	}
+	// Bigger TLBs miss less (fully associative column strictly monotone).
+	prev := byKey[[2]int{16, 0}]
+	for _, e := range []int{32, 64, 128, 256} {
+		cur := byKey[[2]int{e, 0}]
+		if cur > prev+1e-9 {
+			t.Errorf("%d-entry TLB (%.3f) worse than smaller (%.3f)", e, cur, prev)
+		}
+		prev = cur
+	}
+	// Full associativity no worse than 4-way at every size.
+	for _, e := range []int{16, 32, 64, 128, 256} {
+		if byKey[[2]int{e, 0}] > byKey[[2]int{e, 4}]*1.25+1e-6 {
+			t.Errorf("%d entries: fully-assoc (%.3f) much worse than 4-way (%.3f)",
+				e, byKey[[2]int{e, 0}], byKey[[2]int{e, 4}])
+		}
+	}
+	if !strings.Contains(res.Render(), "Entries") {
+		t.Error("render missing header")
+	}
+}
+
+func TestExtensionPlacement(t *testing.T) {
+	res, err := ExtensionPlacement(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Profile-guided placement should reduce misses versus scattered.
+	if res.HotPacked >= res.Scattered {
+		t.Errorf("hot-packed layout (%.2f) not below scattered (%.2f)", res.HotPacked, res.Scattered)
+	}
+	if res.ScatteredAssoc >= res.Scattered {
+		t.Errorf("2-way (%.2f) not below DM (%.2f)", res.ScatteredAssoc, res.Scattered)
+	}
+	if !strings.Contains(res.Render(), "profile-guided") {
+		t.Error("render missing rows")
+	}
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ibsim/internal/sampling"
+)
+
+func TestMethodologyValidation(t *testing.T) {
+	res, err := MethodologyValidation(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The paper's approximation should hold within ~10% for every workload.
+	for _, row := range res.Rows {
+		if math.Abs(row.RelErr) > 0.10 {
+			t.Errorf("%s: independent-levels error %.1f%% (combined %.3f vs sum %.3f)",
+				row.Workload, 100*row.RelErr, row.Combined, row.Independent)
+		}
+	}
+	if !strings.Contains(res.Render(), "Combined") {
+		t.Error("render missing header")
+	}
+}
+
+func TestSamplingStudy(t *testing.T) {
+	res, err := SamplingStudy(Options{Instructions: 400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullMPI <= 0 {
+		t.Fatal("no full-trace reference")
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var warmMax, coldSmall, coldLarge float64
+	for _, row := range res.Rows {
+		switch {
+		case row.Mode == sampling.Warm:
+			if e := math.Abs(row.RelErr); e > warmMax {
+				warmMax = e
+			}
+		case row.Window == 2_000:
+			coldSmall = row.RelErr
+		case row.Window == 50_000:
+			coldLarge = row.RelErr
+		}
+	}
+	if warmMax > 0.15 {
+		t.Errorf("warm sampling error %.1f%% too large", 100*warmMax)
+	}
+	if coldSmall <= 0 {
+		t.Errorf("small-window cold sampling not biased upward: %.3f", coldSmall)
+	}
+	if coldLarge >= coldSmall {
+		t.Errorf("cold bias did not shrink with window: %.3f -> %.3f", coldSmall, coldLarge)
+	}
+	if !strings.Contains(res.Render(), "Coverage") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSPECContrast(t *testing.T) {
+	res, err := SPECContrast(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SPEC's optimal L2 line is large (the paper: ≥256 B).
+	if res.OptimalL2Line < 128 {
+		t.Errorf("SPEC optimal L2 line = %d B, want >= 128", res.OptimalL2Line)
+	}
+	// Associativity buys SPEC very little (the paper: 0.026).
+	if res.AssocGain < 0 || res.AssocGain > 0.1 {
+		t.Errorf("SPEC associativity gain = %.3f, want small and non-negative", res.AssocGain)
+	}
+	// The optimized SPEC total is tiny — "little motivation to consider the
+	// other L1-L2 interface optimizations" (the paper: 0.083).
+	if res.BestTotal > 0.2 {
+		t.Errorf("SPEC optimized total = %.3f, want ≲ 0.2", res.BestTotal)
+	}
+	// SPEC's optimal L1 line is at least as large as IBS's (the paper:
+	// double).
+	if res.OptimalL1Line < res.IBSOptimalL1Line {
+		t.Errorf("SPEC optimal L1 line (%d) below IBS (%d)", res.OptimalL1Line, res.IBSOptimalL1Line)
+	}
+	if !strings.Contains(res.Render(), "counterfactual") {
+		t.Error("render missing title")
+	}
+}
+
+func TestExtensionDualPort(t *testing.T) {
+	res, err := ExtensionDualPort(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dual-porting must help the slow link...
+	if res.DualPort4 >= res.Blocking4 {
+		t.Errorf("dual-ported (%.3f) not below blocking (%.3f) at 4 B/cyc", res.DualPort4, res.Blocking4)
+	}
+	// ...and recover a substantial part of what 4x bandwidth buys (the
+	// Figure 6 aside: "similar performance improvements").
+	gapBW := res.Blocking4 - res.Blocking16
+	gapDP := res.Blocking4 - res.DualPort4
+	if gapBW > 0 && gapDP < 0.4*gapBW {
+		t.Errorf("dual-porting recovered only %.0f%% of the bandwidth gap", 100*gapDP/gapBW)
+	}
+	if !strings.Contains(res.Render(), "dual-ported") {
+		t.Error("render missing rows")
+	}
+}
+
+func TestAblationWriteBuffer(t *testing.T) {
+	res, err := AblationWriteBuffer(Options{Instructions: 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Deeper buffers monotonically reduce write stalls.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].CPIwrite > res.Rows[i-1].CPIwrite+1e-9 {
+			t.Errorf("CPIwrite rose at depth %d: %.4f -> %.4f",
+				res.Rows[i].Depth, res.Rows[i-1].CPIwrite, res.Rows[i].CPIwrite)
+		}
+	}
+	// A 1-entry buffer must hurt; a 16-entry buffer should absorb nearly
+	// everything.
+	if res.Rows[0].CPIwrite <= res.Rows[4].CPIwrite {
+		t.Error("depth sweep flat")
+	}
+	if !strings.Contains(res.Render(), "4 entries") {
+		t.Error("render missing title")
+	}
+}

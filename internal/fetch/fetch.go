@@ -1,0 +1,334 @@
+// Package fetch implements the instruction-fetch engines evaluated in the
+// paper's Section 5: a blocking L1 frontend with optional sequential
+// prefetch-on-miss (Table 6), bypass buffers (Table 7), and a pipelined
+// memory system with stream buffers (Table 8).
+//
+// Every engine consumes a stream of instruction addresses and accounts stall
+// cycles against the paper's CPI model: the machine is single-issue with a
+// base CPI of 1, time advances one cycle per instruction plus accumulated
+// stalls, and CPIinstr = stall cycles / instructions. The L2 contribution is
+// simulated separately (the paper: "We determined the L1 contribution by
+// simulating an L1 cache backed by a perfect L2 cache... L2 contribution is
+// determined by simulating an L2 cache backed by main memory") — use a
+// Blocking engine with the L2 geometry and the baseline memory link for
+// that, and TwoLevel to combine.
+package fetch
+
+import (
+	"fmt"
+
+	"ibsim/internal/cache"
+	"ibsim/internal/memsys"
+	"ibsim/internal/trace"
+)
+
+// Result accumulates an engine's activity.
+type Result struct {
+	// Instructions is the number of instruction fetches issued.
+	Instructions int64
+	// Misses counts fetches that missed the L1 (and, for stream-buffer
+	// engines, also missed the buffer).
+	Misses int64
+	// BufferHits counts fetches satisfied by a stream buffer.
+	BufferHits int64
+	// StallCycles is the total fetch-stall time.
+	StallCycles int64
+}
+
+// CPIinstr returns stall cycles per instruction — the paper's CPIinstr.
+func (r Result) CPIinstr() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.StallCycles) / float64(r.Instructions)
+}
+
+// MPI returns misses per instruction.
+func (r Result) MPI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Instructions)
+}
+
+// Engine is a fetch-stage simulator.
+type Engine interface {
+	// Fetch issues one instruction fetch.
+	Fetch(addr uint64)
+	// Result returns the accumulated counters.
+	Result() Result
+}
+
+// Run feeds every instruction fetch in refs to e and returns the result.
+// Non-instruction references are ignored, matching the paper's Section 5
+// methodology ("we only consider instruction references").
+func Run(e Engine, refs []trace.Ref) Result {
+	for _, r := range refs {
+		if r.Kind == trace.IFetch {
+			e.Fetch(r.Addr)
+		}
+	}
+	return e.Result()
+}
+
+// RunSource drains src through e.
+func RunSource(e Engine, src trace.Source) (Result, error) {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return e.Result(), src.Err()
+		}
+		if r.Kind == trace.IFetch {
+			e.Fetch(r.Addr)
+		}
+	}
+}
+
+// Blocking is the baseline engine: on an L1 miss the processor stalls until
+// the missing line — and all prefetched lines, if sequential
+// prefetch-on-miss is enabled — have been written into the cache (Table 6's
+// execution model: "the processor must stall until both the miss and the
+// prefetches are returned to the cache. Prefetches are not cancelled.").
+type Blocking struct {
+	l1       *cache.Cache
+	link     memsys.Transfer
+	prefetch int
+	lineSize uint64
+	subBlock uint64 // non-zero for sector caches
+	res      Result
+}
+
+// NewBlocking builds a blocking engine with n prefetched lines (0 disables
+// prefetching).
+func NewBlocking(cfg cache.Config, link memsys.Transfer, n int) (*Blocking, error) {
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("fetch: negative prefetch count %d", n)
+	}
+	if cfg.SubBlock != 0 && n != 0 {
+		return nil, fmt.Errorf("fetch: sector caches and prefetch-on-miss are mutually exclusive")
+	}
+	l1, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Blocking{
+		l1: l1, link: link, prefetch: n,
+		lineSize: uint64(cfg.LineSize), subBlock: uint64(cfg.SubBlock),
+	}, nil
+}
+
+// Fetch implements Engine.
+func (b *Blocking) Fetch(addr uint64) {
+	b.res.Instructions++
+	if b.l1.Lookup(addr) {
+		return
+	}
+	b.res.Misses++
+	if b.subBlock != 0 {
+		// Sector cache: only the missing sub-block and all subsequent
+		// sub-blocks in the line are transferred (the paper's sub-block
+		// refill policy); the stall covers just those bytes.
+		offset := (addr &^ (b.subBlock - 1)) & (b.lineSize - 1)
+		b.res.StallCycles += int64(b.link.FillCycles(int(b.lineSize - offset)))
+		b.l1.Fill(addr)
+		return
+	}
+	total := int(b.lineSize) * (1 + b.prefetch)
+	b.res.StallCycles += int64(b.link.FillCycles(total))
+	base := addr &^ (b.lineSize - 1)
+	for i := 0; i <= b.prefetch; i++ {
+		b.l1.Fill(base + uint64(i)*b.lineSize)
+	}
+}
+
+// Result implements Engine.
+func (b *Blocking) Result() Result { return b.res }
+
+// Cache exposes the underlying L1 for inspection in tests and reports.
+func (b *Blocking) Cache() *cache.Cache { return b.l1 }
+
+// Bypass is the prefetch+bypass engine of Table 7: the missing line (and N
+// sequentially prefetched lines) stream into dual-ported bypass buffers, and
+// the processor resumes as soon as the missing *word* arrives. All fetched
+// lines are cached unconditionally (the paper found use-only caching of
+// prefetched lines hurts at small N and line sizes).
+type Bypass struct {
+	l1       *cache.Cache
+	link     memsys.Transfer
+	prefetch int
+	lineSize uint64
+
+	// In-flight refill group: lines [groupBase, groupBase+groupLines) were
+	// requested at cycle groupStart; the byte at offset o from groupBase
+	// arrives at groupStart + link.DeliveryCycle(o).
+	groupBase  uint64
+	groupLines int
+	groupStart int64
+	busyUntil  int64
+
+	res Result
+}
+
+// NewBypass builds a bypass engine with n prefetched lines.
+func NewBypass(cfg cache.Config, link memsys.Transfer, n int) (*Bypass, error) {
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("fetch: negative prefetch count %d", n)
+	}
+	l1, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Bypass{l1: l1, link: link, prefetch: n, lineSize: uint64(cfg.LineSize), groupLines: 0}, nil
+}
+
+// now returns the current cycle under the CPI-1 base model.
+func (b *Bypass) now() int64 { return b.res.Instructions + b.res.StallCycles }
+
+// Fetch implements Engine.
+func (b *Bypass) Fetch(addr uint64) {
+	b.res.Instructions++
+	now := b.now()
+	if b.l1.Lookup(addr) {
+		// The line may still be streaming into the bypass buffers: reading a
+		// word that has not arrived yet waits for it.
+		if b.groupLines > 0 {
+			base := b.groupBase
+			end := base + uint64(b.groupLines)*b.lineSize
+			if addr >= base && addr < end {
+				arrive := b.groupStart + int64(b.link.DeliveryCycle(int(addr-base)))
+				if arrive > now {
+					b.res.StallCycles += arrive - now
+				}
+			}
+		}
+		return
+	}
+	b.res.Misses++
+	start := now
+	if b.busyUntil > start {
+		// Previous refill still owns the memory port.
+		start = b.busyUntil
+	}
+	lineBase := addr &^ (b.lineSize - 1)
+	arrive := start + int64(b.link.DeliveryCycle(int(addr-lineBase)))
+	b.res.StallCycles += arrive - now
+
+	lines := 1 + b.prefetch
+	b.groupBase = lineBase
+	b.groupLines = lines
+	b.groupStart = start
+	b.busyUntil = start + int64(b.link.FillCycles(int(b.lineSize)*lines))
+	for i := 0; i < lines; i++ {
+		b.l1.Fill(lineBase + uint64(i)*b.lineSize)
+	}
+}
+
+// Result implements Engine.
+func (b *Bypass) Result() Result { return b.res }
+
+// Cache exposes the underlying L1.
+func (b *Bypass) Cache() *cache.Cache { return b.l1 }
+
+// Stream is the pipelined memory system with a stream buffer (Table 8,
+// following Jouppi): the L2 accepts a request every cycle; on a miss in both
+// the I-cache and the stream buffer the processor waits one full latency for
+// the missing line, and in the N cycles following the miss request the next
+// N sequential lines are also requested, arriving one per cycle behind it.
+// Buffered lines move to the I-cache free of charge (the Table 8 note) when
+// the processor uses them; the buffer is NOT topped up on consumption — a
+// long sequential run therefore pays one full miss every N+1 lines, which is
+// why the paper's gains keep accruing out to 18 lines. A miss in both
+// structures cancels outstanding prefetches and restarts the stream at the
+// new address.
+type Stream struct {
+	l1       *cache.Cache
+	link     memsys.Transfer
+	depth    int
+	lineSize uint64
+
+	avail map[uint64]int64 // buffered line → arrival cycle
+	res   Result
+}
+
+// NewStream builds a pipelined stream-buffer engine holding depth lines
+// (depth 0 degenerates to a blocking cache with no prefetch). The paper sets
+// the L1 line size equal to the per-cycle bandwidth so the pipeline can
+// accept a request every cycle; NewStream enforces LineSize <=
+// link.BytesPerCycle × 2 to keep the one-line-per-cycle arrival model honest.
+func NewStream(cfg cache.Config, link memsys.Transfer, depth int) (*Stream, error) {
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("fetch: negative stream-buffer depth %d", depth)
+	}
+	if cfg.LineSize > 2*link.BytesPerCycle {
+		return nil, fmt.Errorf("fetch: stream engine needs line size (%d) <= 2x bandwidth (%d B/cyc)",
+			cfg.LineSize, link.BytesPerCycle)
+	}
+	l1, err := cache.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{
+		l1: l1, link: link, depth: depth, lineSize: uint64(cfg.LineSize),
+		avail: make(map[uint64]int64),
+	}, nil
+}
+
+func (s *Stream) now() int64 { return s.res.Instructions + s.res.StallCycles }
+
+// Fetch implements Engine.
+func (s *Stream) Fetch(addr uint64) {
+	s.res.Instructions++
+	if s.l1.Lookup(addr) {
+		return
+	}
+	now := s.now()
+	la := addr &^ (s.lineSize - 1)
+	if arrive, ok := s.avail[la]; ok {
+		// Stream-buffer hit: wait for arrival if the line is still in
+		// flight, then move it to the I-cache.
+		if arrive > now {
+			s.res.StallCycles += arrive - now
+		}
+		s.res.BufferHits++
+		s.l1.Fill(la)
+		delete(s.avail, la)
+		return
+	}
+	// Miss in both: pay the full latency, cancel the stream, restart it.
+	s.res.Misses++
+	s.res.StallCycles += int64(s.link.FillCycles(int(s.lineSize)))
+	now = s.now()
+	s.l1.Fill(la)
+	clear(s.avail)
+	for i := 1; i <= s.depth; i++ {
+		// Pipelined: one request per cycle; line i lands i cycles behind.
+		s.avail[la+uint64(i)*s.lineSize] = now + int64(i)
+	}
+}
+
+// Result implements Engine.
+func (s *Stream) Result() Result { return s.res }
+
+// Cache exposes the underlying L1.
+func (s *Stream) Cache() *cache.Cache { return s.l1 }
+
+// TwoLevel combines independently simulated L1 and L2 contributions into the
+// paper's "Total CPIinstr".
+type TwoLevel struct {
+	// L1 is the frontend result (L1 backed by a perfect L2).
+	L1 Result
+	// L2 is the second-level result (L2 backed by the baseline memory).
+	L2 Result
+}
+
+// Total returns L1 CPIinstr + L2 CPIinstr.
+func (t TwoLevel) Total() float64 { return t.L1.CPIinstr() + t.L2.CPIinstr() }

@@ -1,0 +1,144 @@
+package fetch
+
+import (
+	"testing"
+
+	"ibsim/internal/cache"
+	"ibsim/internal/memsys"
+	"ibsim/internal/trace"
+)
+
+func TestVictimValidation(t *testing.T) {
+	if _, err := NewVictim(l1cfg, l2link, 0); err == nil {
+		t.Error("zero victim lines accepted")
+	}
+	if _, err := NewVictim(cache.Config{Size: 7}, l2link, 4); err == nil {
+		t.Error("bad L1 accepted")
+	}
+	if _, err := NewVictim(l1cfg, memsys.Transfer{}, 4); err == nil {
+		t.Error("bad link accepted")
+	}
+}
+
+func TestVictimCatchesConflictPair(t *testing.T) {
+	// Two lines that conflict in a direct-mapped cache, accessed
+	// alternately: without a victim cache every access misses; with one,
+	// only the cold misses pay the full refill.
+	small := cache.Config{Size: 4 * 32, LineSize: 32, Assoc: 1}
+	v, err := NewVictim(small, l2link, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := NewBlocking(small, l2link, 0)
+	var refs []trace.Ref
+	for i := 0; i < 100; i++ {
+		refs = append(refs, trace.Ref{Addr: uint64(i%2) * 128, Kind: trace.IFetch})
+	}
+	rv := Run(v, refs)
+	rp := Run(plain, refs)
+	if rp.Misses != 100 {
+		t.Fatalf("plain DM should thrash: %d misses", rp.Misses)
+	}
+	if rv.Misses != 100 {
+		// Victim engine counts L1 misses; most are victim hits.
+		t.Fatalf("victim engine misses = %d", rv.Misses)
+	}
+	if v.VictimHits() != 98 {
+		t.Fatalf("victim hits = %d, want 98 (all but the 2 cold misses)", v.VictimHits())
+	}
+	// Stall: 2 full refills (7 cycles each) + 98 swaps (1 cycle each).
+	if rv.StallCycles != 2*7+98 {
+		t.Fatalf("victim stall = %d, want %d", rv.StallCycles, 2*7+98)
+	}
+	if rv.StallCycles >= rp.StallCycles {
+		t.Fatal("victim cache did not help a conflict pair")
+	}
+}
+
+func TestVictimEvictionFlow(t *testing.T) {
+	// Capacity-limited victim cache: with 1 line, a 3-way conflict rotation
+	// gets limited help.
+	small := cache.Config{Size: 4 * 32, LineSize: 32, Assoc: 1}
+	v, _ := NewVictim(small, l2link, 1)
+	var refs []trace.Ref
+	for i := 0; i < 99; i++ {
+		refs = append(refs, trace.Ref{Addr: uint64(i%3) * 128, Kind: trace.IFetch})
+	}
+	Run(v, refs)
+	// Rotating A,B,C through one victim slot: the victim always holds the
+	// line evicted last, but the rotation wants the one before that —
+	// almost no victim hits.
+	if v.VictimHits() > 5 {
+		t.Fatalf("1-line victim cache on 3-way rotation: %d hits, want ~0", v.VictimHits())
+	}
+}
+
+func TestMultiStreamValidation(t *testing.T) {
+	c16 := cache.Config{Size: 8192, LineSize: 16, Assoc: 1}
+	if _, err := NewMultiStream(c16, l2link, 0, 4); err == nil {
+		t.Error("zero ways accepted")
+	}
+	if _, err := NewMultiStream(c16, l2link, 4, 0); err == nil {
+		t.Error("zero depth accepted")
+	}
+	if _, err := NewMultiStream(cache.Config{Size: 8192, LineSize: 64, Assoc: 1}, l2link, 4, 4); err == nil {
+		t.Error("oversized line accepted")
+	}
+}
+
+func TestMultiStreamSurvivesInterleaving(t *testing.T) {
+	// Two interleaved sequential streams: a single stream buffer cancels on
+	// every alternation; a 2-way buffer keeps both alive.
+	c16 := cache.Config{Size: 8192, LineSize: 16, Assoc: 1}
+	var refs []trace.Ref
+	a, b := uint64(0x100000), uint64(0x900000)
+	for i := 0; i < 400; i++ {
+		// 4 instructions (one line) from each stream, alternating.
+		for j := 0; j < 4; j++ {
+			refs = append(refs, trace.Ref{Addr: a, Kind: trace.IFetch})
+			a += 4
+		}
+		for j := 0; j < 4; j++ {
+			refs = append(refs, trace.Ref{Addr: b, Kind: trace.IFetch})
+			b += 4
+		}
+	}
+	single, err := NewStream(c16, l2link, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := NewMultiStream(c16, l2link, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := Run(single, refs)
+	rm := Run(multi, refs)
+	if rm.Misses >= rs.Misses/4 {
+		t.Fatalf("multi-stream misses %d not ≪ single-stream %d on interleaved streams",
+			rm.Misses, rs.Misses)
+	}
+	if rm.StallCycles >= rs.StallCycles {
+		t.Fatalf("multi-stream stall %d not below single %d", rm.StallCycles, rs.StallCycles)
+	}
+}
+
+func TestMultiStreamLRUReallocation(t *testing.T) {
+	c16 := cache.Config{Size: 8192, LineSize: 16, Assoc: 1}
+	m, _ := NewMultiStream(c16, l2link, 2, 4)
+	m.Fetch(0x100000) // miss: way 0 streams 0x100010..
+	m.Fetch(0x200000) // miss: way 1 streams 0x200010..
+	m.Fetch(0x300000) // miss: reallocates LRU way 0 to stream 0x300010..
+	// Way 0's old stream (0x100010) is gone: a fourth miss, which in turn
+	// reallocates the now-LRU way 1.
+	m.Fetch(0x100010)
+	res := m.Result()
+	if res.Misses != 4 {
+		t.Fatalf("misses = %d, want 4 (stream 1 was reallocated)", res.Misses)
+	}
+	// The 0x300000 stream (most recently allocated before the 4th miss)
+	// survived.
+	m.Fetch(0x300010)
+	if got := m.Result(); got.BufferHits != 1 {
+		t.Fatalf("buffer hits = %d, want 1 (0x300000 stream alive)", got.BufferHits)
+	}
+}

@@ -1,0 +1,130 @@
+// Package memsys provides the timing primitives of the memory hierarchy:
+// link transfer models (latency + bandwidth) and the two baseline memory
+// systems of the paper's Table 5.
+//
+// The timing convention follows Table 5's worked example: "a system with a
+// 12-cycle latency and a bandwidth of 8 bytes/cycle requires 12 cycles to
+// return the first 8 bytes and delivers 8 additional bytes in each
+// subsequent cycle. Filling a 32-byte line would require 12+1+1+1 = 15
+// cycles."
+package memsys
+
+import "fmt"
+
+// Transfer models a link to the next level of the hierarchy.
+type Transfer struct {
+	// Latency is the number of cycles until the first BytesPerCycle chunk
+	// arrives.
+	Latency int
+	// BytesPerCycle is the transfer bandwidth.
+	BytesPerCycle int
+}
+
+// Validate checks the link parameters.
+func (t Transfer) Validate() error {
+	if t.Latency < 1 {
+		return fmt.Errorf("memsys: latency %d must be >= 1", t.Latency)
+	}
+	if t.BytesPerCycle < 1 {
+		return fmt.Errorf("memsys: bandwidth %d must be >= 1", t.BytesPerCycle)
+	}
+	return nil
+}
+
+// String renders the link in the paper's style.
+func (t Transfer) String() string {
+	return fmt.Sprintf("%d-cycle latency, %d B/cycle", t.Latency, t.BytesPerCycle)
+}
+
+// FillCycles returns the cycles to deliver bytes in one burst: the first
+// chunk arrives at Latency, each further chunk one cycle later
+// (12+1+1+1 = 15 for 32 bytes at 12 cycles / 8 B-per-cycle).
+func (t Transfer) FillCycles(bytes int) int {
+	if bytes <= 0 {
+		return 0
+	}
+	chunks := (bytes + t.BytesPerCycle - 1) / t.BytesPerCycle
+	return t.Latency + chunks - 1
+}
+
+// DeliveryCycle returns the cycle (relative to request issue) at which the
+// byte at offset within a burst arrives: offset 0..BytesPerCycle-1 arrive at
+// Latency, the next chunk one cycle later, and so on.
+func (t Transfer) DeliveryCycle(offset int) int {
+	if offset < 0 {
+		offset = 0
+	}
+	return t.Latency + offset/t.BytesPerCycle
+}
+
+// Baseline describes one of the paper's two base memory-system
+// configurations (Table 5): an 8-KB direct-mapped on-chip L1 I-cache backed
+// either by main memory (economy) or by a large, ideal off-chip cache
+// (high-performance).
+type Baseline struct {
+	// Name is "economy" or "high-performance".
+	Name string
+	// Memory is the link from the lowest simulated cache level to the
+	// backing store.
+	Memory Transfer
+}
+
+// Economy returns the low-end baseline: 30-cycle latency, 4 bytes/cycle to
+// main memory.
+func Economy() Baseline {
+	return Baseline{Name: "economy", Memory: Transfer{Latency: 30, BytesPerCycle: 4}}
+}
+
+// HighPerformance returns the high-end baseline: 12-cycle latency, 8
+// bytes/cycle to an ideal off-chip cache.
+func HighPerformance() Baseline {
+	return Baseline{Name: "high-performance", Memory: Transfer{Latency: 12, BytesPerCycle: 8}}
+}
+
+// Baselines returns both Table 5 configurations, economy first.
+func Baselines() []Baseline {
+	return []Baseline{Economy(), HighPerformance()}
+}
+
+// L1L2Link returns the paper's on-chip L1↔L2 interface used from Figure 3
+// on: an L1 miss costs a 6-cycle latency with 16 bytes/cycle of bandwidth.
+func L1L2Link() Transfer {
+	return Transfer{Latency: 6, BytesPerCycle: 16}
+}
+
+// DECstation3100 models the measurement platform of Tables 1–3: split
+// 64-KB direct-mapped off-chip I- and D-caches with 4-byte lines and a
+// 6-cycle miss penalty.
+type DECstation3100 struct {
+	// CacheSize is 64 KB for both I- and D-caches.
+	CacheSize int
+	// LineSize is 4 bytes.
+	LineSize int
+	// MissPenalty is 6 cycles for both caches.
+	MissPenalty int
+	// TLBEntries is 64 (fully associative), PageSize 4096.
+	TLBEntries int
+	PageSize   int
+	// TLBPenalty approximates the software TLB-refill trap cost on the
+	// R2000 (the utlb handler path).
+	TLBPenalty int
+	// WriteBufferDepth is the number of entries in the write buffer; the
+	// CPU stalls on a store when it is full.
+	WriteBufferDepth int
+	// WriteCycles is the cycles to retire one write-buffer entry.
+	WriteCycles int
+}
+
+// NewDECstation3100 returns the platform constants.
+func NewDECstation3100() DECstation3100 {
+	return DECstation3100{
+		CacheSize:        64 * 1024,
+		LineSize:         4,
+		MissPenalty:      6,
+		TLBEntries:       64,
+		PageSize:         4096,
+		TLBPenalty:       16,
+		WriteBufferDepth: 4,
+		WriteCycles:      6,
+	}
+}

@@ -1,0 +1,109 @@
+package memsys
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFillCyclesPaperExample(t *testing.T) {
+	// Table 5: 12-cycle latency, 8 B/cycle, 32-byte line → 12+1+1+1 = 15.
+	hp := Transfer{Latency: 12, BytesPerCycle: 8}
+	if got := hp.FillCycles(32); got != 15 {
+		t.Fatalf("FillCycles(32) = %d, want 15", got)
+	}
+	// One chunk arrives exactly at the latency.
+	if got := hp.FillCycles(8); got != 12 {
+		t.Fatalf("FillCycles(8) = %d, want 12", got)
+	}
+	if got := hp.FillCycles(4); got != 12 {
+		t.Fatalf("FillCycles(4) = %d, want 12 (partial chunk)", got)
+	}
+	if got := hp.FillCycles(0); got != 0 {
+		t.Fatalf("FillCycles(0) = %d, want 0", got)
+	}
+}
+
+func TestFillCyclesL1L2(t *testing.T) {
+	// Figure 3 text: with the 6-cycle, 16 B/cycle L2 link, an 8-KB DM L1
+	// with 32-byte lines has stall/miss = 6+1 = 7.
+	link := L1L2Link()
+	if got := link.FillCycles(32); got != 7 {
+		t.Fatalf("L1L2 FillCycles(32) = %d, want 7", got)
+	}
+}
+
+func TestDeliveryCycle(t *testing.T) {
+	tr := Transfer{Latency: 6, BytesPerCycle: 16}
+	cases := []struct{ off, want int }{
+		{0, 6}, {15, 6}, {16, 7}, {31, 7}, {32, 8}, {-4, 6},
+	}
+	for _, c := range cases {
+		if got := tr.DeliveryCycle(c.off); got != c.want {
+			t.Errorf("DeliveryCycle(%d) = %d, want %d", c.off, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Transfer{Latency: 0, BytesPerCycle: 4}).Validate(); err == nil {
+		t.Error("zero latency accepted")
+	}
+	if err := (Transfer{Latency: 5, BytesPerCycle: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if err := (Transfer{Latency: 5, BytesPerCycle: 4}).Validate(); err != nil {
+		t.Errorf("valid transfer rejected: %v", err)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	eco := Economy()
+	if eco.Memory.Latency != 30 || eco.Memory.BytesPerCycle != 4 {
+		t.Errorf("economy = %+v", eco)
+	}
+	hp := HighPerformance()
+	if hp.Memory.Latency != 12 || hp.Memory.BytesPerCycle != 8 {
+		t.Errorf("high-performance = %+v", hp)
+	}
+	bs := Baselines()
+	if len(bs) != 2 || bs[0].Name != "economy" || bs[1].Name != "high-performance" {
+		t.Errorf("Baselines() = %+v", bs)
+	}
+}
+
+func TestTransferString(t *testing.T) {
+	if s := (Transfer{Latency: 6, BytesPerCycle: 16}).String(); !strings.Contains(s, "6-cycle") || !strings.Contains(s, "16 B/cycle") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestDECstation3100(t *testing.T) {
+	d := NewDECstation3100()
+	if d.CacheSize != 65536 || d.LineSize != 4 || d.MissPenalty != 6 {
+		t.Errorf("cache constants wrong: %+v", d)
+	}
+	if d.TLBEntries != 64 || d.PageSize != 4096 {
+		t.Errorf("TLB constants wrong: %+v", d)
+	}
+}
+
+// Property: FillCycles is monotone in bytes, and delivering b bytes never
+// takes fewer cycles than the latency.
+func TestFillCyclesProperties(t *testing.T) {
+	f := func(lat, bpcRaw uint8, bytes uint16) bool {
+		tr := Transfer{Latency: int(lat%50) + 1, BytesPerCycle: int(bpcRaw%64) + 1}
+		b := int(bytes % 4096)
+		if b == 0 {
+			return tr.FillCycles(0) == 0
+		}
+		fc := tr.FillCycles(b)
+		if fc < tr.Latency {
+			return false
+		}
+		return tr.FillCycles(b+tr.BytesPerCycle) == fc+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

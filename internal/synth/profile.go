@@ -1,0 +1,241 @@
+// Package synth generates synthetic multi-address-space reference traces
+// that stand in for the paper's hardware-captured IBS and SPEC workloads.
+//
+// The substitution is documented in DESIGN.md: the paper's results derive
+// from statistical locality properties of its traces — code footprint,
+// procedure working sets, loop residency, path lengths between control
+// transfers, and the interleaving of protection domains (user task, kernel,
+// BSD server, X server). This package models a workload as a set of
+// per-domain program images (modules of procedures laid out in a sparse text
+// segment) walked by a seeded random process (Zipf procedure popularity,
+// geometric loop iteration counts, short forward branches, calls, domain
+// switches). Every knob is a named field of Profile, and the shipped
+// profiles (workloads.go) are calibrated against the miss ratios the paper
+// prints.
+package synth
+
+import (
+	"fmt"
+
+	"ibsim/internal/trace"
+)
+
+// OSModel selects the operating-system structure of a workload.
+type OSModel uint8
+
+const (
+	// Monolithic models Ultrix 3.1: user task + one big kernel; OS services
+	// (file system, networking, display management) execute in the kernel
+	// and the X server; there is no API-emulation library.
+	Monolithic OSModel = iota
+	// Microkernel models Mach 3.0: a small kernel plus user-level BSD and X
+	// servers, with a 4.3 BSD API-emulation library dynamically linked into
+	// each user task. More protection domains, longer cross-domain paths.
+	Microkernel
+)
+
+// String names the OS model.
+func (m OSModel) String() string {
+	switch m {
+	case Monolithic:
+		return "monolithic (Ultrix 3.1)"
+	case Microkernel:
+		return "microkernel (Mach 3.0)"
+	default:
+		return fmt.Sprintf("OSModel(%d)", uint8(m))
+	}
+}
+
+// DomainProfile describes one protection domain's program image and the walk
+// over it.
+type DomainProfile struct {
+	// TimeShare is the fraction of instructions executed in this domain
+	// (Table 4's "Workload Components"). Shares across domains should sum
+	// to 1; Validate checks this within tolerance and the generator
+	// normalizes.
+	TimeShare float64
+	// Procs is the number of procedures in the domain's text image.
+	Procs int
+	// MeanProcBytes is the mean procedure size in bytes (procedure sizes
+	// are drawn from a geometric distribution around this mean, minimum 64
+	// bytes, rounded to 4-byte instructions).
+	MeanProcBytes int
+	// Theta is the Zipf exponent s of procedure popularity,
+	// p(rank r) ∝ 1/(r+1)^s: larger values concentrate execution in fewer
+	// procedures (tighter working set). Typical: ~1.2 for flat, bloated
+	// profiles (IBS), ~1.8 for loop-dominated SPEC codes.
+	Theta float64
+	// LoopProb is the probability that a procedure visit re-executes an
+	// inner loop after its sequential pass.
+	LoopProb float64
+	// MeanLoopIter is the mean number of extra loop iterations when a loop
+	// runs.
+	MeanLoopIter float64
+	// MeanLoopFrac is the fraction of the procedure body an inner loop
+	// covers (0 < frac <= 1).
+	MeanLoopFrac float64
+	// CallProb is the per-instruction probability of calling another
+	// procedure (depth-limited).
+	CallProb float64
+	// SkipProb is the per-instruction probability of a short forward
+	// branch that skips 2–6 instructions.
+	SkipProb float64
+	// JumpProb is the per-instruction probability of a far taken branch to
+	// a uniformly random later point in the procedure body. Far jumps are
+	// what bound the utility of long cache lines and stream buffers
+	// (Figure 6, Table 8); loop-dominated SPEC codes take fewer of them.
+	JumpProb float64
+	// MeanResidency is the mean number of instructions executed in this
+	// domain before control transfers to another domain.
+	MeanResidency float64
+	// HotLayout, when true, lays procedures out in popularity order (hot
+	// procedures contiguous at the front of the image) instead of the
+	// default scattered linker order — the profile-guided code placement of
+	// Hwu & Chang and McFarling that the paper's related-work section
+	// describes. It reduces both the hot working set's page count and its
+	// conflict misses.
+	HotLayout bool
+}
+
+// DataProfile describes the data-reference stream synthesized alongside the
+// instruction stream.
+type DataProfile struct {
+	// LoadFrac is the fraction of instructions that are loads.
+	LoadFrac float64
+	// StoreFrac is the fraction of instructions that are stores.
+	StoreFrac float64
+	// StreamFrac is the fraction of data references that walk sequentially
+	// through a large array (the SPECfp access pattern that produced the
+	// paper's Table 1 CPIdata of 0.668 for SPECfp89).
+	StreamFrac float64
+	// HeapPages is the number of heap pages per domain that non-streaming
+	// heap references spread over (Zipf-distributed popularity).
+	HeapPages int
+}
+
+// Profile is a complete synthetic workload description.
+type Profile struct {
+	// Name identifies the workload ("gs", "verilog", "eqntott", ...).
+	Name string
+	// Description is the one-line summary printed by workload inventories
+	// (the paper's Table 2).
+	Description string
+	// OS selects the operating-system structure.
+	OS OSModel
+	// Domains describes each protection domain; domains with TimeShare 0
+	// are absent from the workload.
+	Domains [trace.NumDomains]DomainProfile
+	// Data describes the data-reference stream. A zero value disables data
+	// references (instruction-only traces).
+	Data DataProfile
+	// Seed is the default generation seed; distinct workloads use distinct
+	// seeds so their layouts differ.
+	Seed uint64
+}
+
+// Validate checks the profile for consistency.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("synth: profile has no name")
+	}
+	total := 0.0
+	active := 0
+	for d := 0; d < trace.NumDomains; d++ {
+		dp := &p.Domains[d]
+		if dp.TimeShare < 0 {
+			return fmt.Errorf("synth: %s: domain %v has negative TimeShare", p.Name, trace.Domain(d))
+		}
+		if dp.TimeShare == 0 {
+			continue
+		}
+		active++
+		total += dp.TimeShare
+		if dp.Procs <= 0 {
+			return fmt.Errorf("synth: %s: domain %v has no procedures", p.Name, trace.Domain(d))
+		}
+		if dp.MeanProcBytes < 64 {
+			return fmt.Errorf("synth: %s: domain %v MeanProcBytes %d < 64", p.Name, trace.Domain(d), dp.MeanProcBytes)
+		}
+		if dp.Theta <= 0 {
+			return fmt.Errorf("synth: %s: domain %v Theta must be positive", p.Name, trace.Domain(d))
+		}
+		if dp.LoopProb < 0 || dp.LoopProb > 1 {
+			return fmt.Errorf("synth: %s: domain %v LoopProb out of [0,1]", p.Name, trace.Domain(d))
+		}
+		if dp.MeanLoopFrac < 0 || dp.MeanLoopFrac > 1 {
+			return fmt.Errorf("synth: %s: domain %v MeanLoopFrac out of [0,1]", p.Name, trace.Domain(d))
+		}
+		if dp.CallProb < 0 || dp.CallProb > 0.5 {
+			return fmt.Errorf("synth: %s: domain %v CallProb out of [0,0.5]", p.Name, trace.Domain(d))
+		}
+		if dp.SkipProb < 0 || dp.SkipProb > 0.9 {
+			return fmt.Errorf("synth: %s: domain %v SkipProb out of [0,0.9]", p.Name, trace.Domain(d))
+		}
+		if dp.JumpProb < 0 || dp.JumpProb > 0.5 {
+			return fmt.Errorf("synth: %s: domain %v JumpProb out of [0,0.5]", p.Name, trace.Domain(d))
+		}
+		if dp.MeanResidency < 1 {
+			return fmt.Errorf("synth: %s: domain %v MeanResidency %v < 1", p.Name, trace.Domain(d), dp.MeanResidency)
+		}
+	}
+	if active == 0 {
+		return fmt.Errorf("synth: %s: no active domains", p.Name)
+	}
+	if total < 0.99 || total > 1.01 {
+		return fmt.Errorf("synth: %s: domain TimeShares sum to %.3f, want 1", p.Name, total)
+	}
+	d := p.Data
+	if d.LoadFrac < 0 || d.StoreFrac < 0 || d.LoadFrac+d.StoreFrac > 1 {
+		return fmt.Errorf("synth: %s: data fractions invalid (load %.2f store %.2f)", p.Name, d.LoadFrac, d.StoreFrac)
+	}
+	if d.StreamFrac < 0 || d.StreamFrac > 1 {
+		return fmt.Errorf("synth: %s: StreamFrac out of [0,1]", p.Name)
+	}
+	if d.HeapPages < 0 {
+		return fmt.Errorf("synth: %s: negative HeapPages", p.Name)
+	}
+	return nil
+}
+
+// Footprint returns the approximate total text bytes across active domains —
+// the workload's static code size, the quantity "code bloat" grows.
+func (p *Profile) Footprint() int64 {
+	var total int64
+	for d := 0; d < trace.NumDomains; d++ {
+		dp := &p.Domains[d]
+		if dp.TimeShare > 0 {
+			total += int64(dp.Procs) * int64(dp.MeanProcBytes)
+		}
+	}
+	return total
+}
+
+// ActiveDomains lists the domains with non-zero time share.
+func (p *Profile) ActiveDomains() []trace.Domain {
+	var out []trace.Domain
+	for d := 0; d < trace.NumDomains; d++ {
+		if p.Domains[d].TimeShare > 0 {
+			out = append(out, trace.Domain(d))
+		}
+	}
+	return out
+}
+
+// Scale returns a copy of the profile with every domain's code footprint
+// multiplied by factor (procedure count scales; procedure size distribution
+// is preserved). It models code bloat growth for ablations: Scale(1.15) is
+// "the next release of gcc".
+func (p *Profile) Scale(factor float64) Profile {
+	out := *p
+	out.Name = fmt.Sprintf("%s(x%.2f)", p.Name, factor)
+	for d := 0; d < trace.NumDomains; d++ {
+		if out.Domains[d].TimeShare > 0 {
+			n := int(float64(out.Domains[d].Procs) * factor)
+			if n < 1 {
+				n = 1
+			}
+			out.Domains[d].Procs = n
+		}
+	}
+	return out
+}

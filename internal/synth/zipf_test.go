@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"ibsim/internal/xrand"
+)
+
+func TestInvPowMatchesMath(t *testing.T) {
+	for _, tc := range []struct{ x, s float64 }{
+		{1, 1}, {2, 1}, {10, 1}, {3, 2}, {7, 1.5}, {100, 1.38}, {500, 2.4}, {1, 0.5},
+	} {
+		got := invPow(tc.x, tc.s)
+		want := math.Pow(tc.x, -tc.s)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("invPow(%v, %v) = %v, want %v", tc.x, tc.s, got, want)
+		}
+	}
+}
+
+func TestZipfCDFMonotone(t *testing.T) {
+	z := newZipf(100, 1.3)
+	prev := 0.0
+	for _, c := range z.cum {
+		if c < prev {
+			t.Fatal("CDF not monotone")
+		}
+		prev = c
+	}
+	if z.cum[len(z.cum)-1] != 1 {
+		t.Fatalf("CDF does not end at 1: %v", z.cum[len(z.cum)-1])
+	}
+}
+
+func TestZipfHeadMass(t *testing.T) {
+	// s=1.0 over 1000 ranks: P(rank 0) = 1/H(1000) ≈ 1/7.485 ≈ 0.1336.
+	z := newZipf(1000, 1.0)
+	want := 0.1336
+	if got := z.cum[0]; math.Abs(got-want) > 0.001 {
+		t.Errorf("P(0) = %v, want ~%v", got, want)
+	}
+}
+
+func TestZipfSampling(t *testing.T) {
+	z := newZipf(50, 1.5)
+	rng := xrand.New(7)
+	counts := make([]int, 50)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		r := z.draw(rng)
+		if r < 0 || r >= 50 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Empirical frequencies should match the CDF increments within 5%.
+	for r := 0; r < 10; r++ {
+		want := z.cum[r]
+		if r > 0 {
+			want -= z.cum[r-1]
+		}
+		got := float64(counts[r]) / draws
+		if math.Abs(got-want) > 0.05*want+0.001 {
+			t.Errorf("rank %d: freq %v, want %v", r, got, want)
+		}
+	}
+	// Monotone non-increasing head (allowing small noise).
+	if counts[0] < counts[1] || counts[1] < counts[3] {
+		t.Errorf("head not decreasing: %v", counts[:5])
+	}
+}
+
+func TestZipfTailMass(t *testing.T) {
+	z := newZipf(100, 2.0)
+	if z.tailMass(0) != 1 {
+		t.Error("tailMass(0) != 1")
+	}
+	if z.tailMass(100) != 0 || z.tailMass(200) != 0 {
+		t.Error("tailMass beyond n != 0")
+	}
+	if tm := z.tailMass(1); math.Abs(tm-(1-z.cum[0])) > 1e-12 {
+		t.Errorf("tailMass(1) = %v", tm)
+	}
+	// Larger exponent → thinner tail.
+	flat := newZipf(100, 1.0)
+	if z.tailMass(10) >= flat.tailMass(10) {
+		t.Error("s=2 tail not thinner than s=1 tail")
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := newZipf(0, 1.0)
+	if z.n() != 1 {
+		t.Fatalf("n = %d", z.n())
+	}
+	rng := xrand.New(1)
+	if z.draw(rng) != 0 {
+		t.Fatal("single-rank draw != 0")
+	}
+}

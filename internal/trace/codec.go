@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The binary trace format.
+//
+// The paper closes by making the IBS traces "available to the research
+// community"; this codec is our equivalent artifact. The format favors
+// compactness (instruction streams are strongly sequential, so delta
+// encoding pays off) while staying trivially portable: everything after the
+// fixed header is a stream of varint-encoded records.
+//
+//	header:  magic "IBSTRACE" | version u16 | flags u16 | count u64
+//	record:  tag byte | uvarint delta
+//
+// The tag byte packs kind (2 bits), domain (2 bits), and the sign of the
+// address delta (1 bit); the delta is relative to the previous reference of
+// the *same kind and domain*, which keeps instruction-fetch deltas tiny even
+// when data references interleave.
+
+// Magic identifies ibsim trace files.
+const Magic = "IBSTRACE"
+
+// Version is the current trace format version.
+const Version uint16 = 1
+
+var (
+	// ErrBadMagic reports a file that is not an ibsim trace.
+	ErrBadMagic = errors.New("trace: bad magic (not an IBSTRACE file)")
+	// ErrBadVersion reports an unsupported trace format version.
+	ErrBadVersion = errors.New("trace: unsupported format version")
+	// ErrCorrupt reports a structurally invalid trace body.
+	ErrCorrupt = errors.New("trace: corrupt record stream")
+	// ErrTruncated reports a stream that ended before the declared count.
+	ErrTruncated = errors.New("trace: truncated (fewer records than header count)")
+)
+
+const headerSize = 8 + 2 + 2 + 8
+
+// Writer encodes references to an underlying io.Writer. Close must be called
+// to flush buffered data; the header's record count is written up-front from
+// the count passed to NewWriter when known, or patched by WriteFile.
+type Writer struct {
+	w     *bufio.Writer
+	last  [3][NumDomains]uint64 // previous address per (kind, domain)
+	count uint64
+	buf   [binary.MaxVarintLen64 + 1]byte
+	err   error
+}
+
+// NewWriter writes the trace header (with a zero record count — use
+// WriteFile for a self-describing file, or pair with a transport that
+// delimits the stream) and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	return newWriterCount(w, 0)
+}
+
+func newWriterCount(w io.Writer, count uint64) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [headerSize]byte
+	copy(hdr[:8], Magic)
+	binary.LittleEndian.PutUint16(hdr[8:10], Version)
+	binary.LittleEndian.PutUint16(hdr[10:12], 0)
+	binary.LittleEndian.PutUint64(hdr[12:20], count)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Put implements Sink.
+func (w *Writer) Put(r Ref) error {
+	if w.err != nil {
+		return w.err
+	}
+	if r.Kind > DWrite {
+		w.err = fmt.Errorf("trace: invalid kind %d", r.Kind)
+		return w.err
+	}
+	if r.Domain >= NumDomains {
+		w.err = fmt.Errorf("trace: invalid domain %d", r.Domain)
+		return w.err
+	}
+	prev := w.last[r.Kind][r.Domain]
+	w.last[r.Kind][r.Domain] = r.Addr
+
+	var delta uint64
+	tag := byte(r.Kind)<<3 | byte(r.Domain)<<1
+	if r.Addr >= prev {
+		delta = r.Addr - prev
+	} else {
+		delta = prev - r.Addr
+		tag |= 1 // sign bit: delta is negative
+	}
+	w.buf[0] = tag
+	n := binary.PutUvarint(w.buf[1:], delta)
+	if _, err := w.w.Write(w.buf[:1+n]); err != nil {
+		w.err = err
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of references written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes buffered data. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader decodes a trace stream written by Writer. It implements Source.
+type Reader struct {
+	r      *bufio.Reader
+	last   [3][NumDomains]uint64
+	remain uint64
+	// counted reports whether the header declared a record count (> 0); if
+	// so the reader enforces it.
+	counted bool
+	err     error
+}
+
+// NewReader validates the header of r and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:8]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:10]); v != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[12:20])
+	return &Reader{r: br, remain: count, counted: count > 0}, nil
+}
+
+// Next implements Source.
+func (r *Reader) Next() (Ref, bool) {
+	if r.err != nil {
+		return Ref{}, false
+	}
+	if r.counted && r.remain == 0 {
+		return Ref{}, false
+	}
+	tag, err := r.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			if r.counted && r.remain > 0 {
+				r.err = fmt.Errorf("%w: %d records missing", ErrTruncated, r.remain)
+			}
+		} else {
+			r.err = err
+		}
+		return Ref{}, false
+	}
+	kind := Kind(tag >> 3)
+	domain := Domain(tag >> 1 & 0x3)
+	if kind > DWrite || tag&0x60 != 0 {
+		r.err = fmt.Errorf("%w: invalid tag 0x%02x", ErrCorrupt, tag)
+		return Ref{}, false
+	}
+	delta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		r.err = fmt.Errorf("%w: reading delta: %v", ErrCorrupt, err)
+		return Ref{}, false
+	}
+	prev := r.last[kind][domain]
+	var addr uint64
+	if tag&1 == 0 {
+		addr = prev + delta
+	} else {
+		addr = prev - delta
+	}
+	r.last[kind][domain] = addr
+	if r.counted {
+		r.remain--
+	}
+	return Ref{Addr: addr, Kind: kind, Domain: domain}, true
+}
+
+// Err implements Source.
+func (r *Reader) Err() error { return r.err }
+
+// Encode writes every reference from src to w in trace format, returning the
+// number written. The header count field is left zero (streaming mode); use
+// WriteTo with a io.WriteSeeker via WriteFile semantics when a
+// self-describing count is needed.
+func Encode(w io.Writer, src Source) (uint64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := Copy(tw, src); err != nil {
+		return tw.Count(), err
+	}
+	return tw.Count(), tw.Close()
+}
+
+// EncodeSeeker writes src to ws and then patches the header's record count,
+// producing a fully self-describing trace file.
+func EncodeSeeker(ws io.WriteSeeker, src Source) (uint64, error) {
+	n, err := Encode(ws, src)
+	if err != nil {
+		return n, err
+	}
+	if _, err := ws.Seek(12, io.SeekStart); err != nil {
+		return n, fmt.Errorf("trace: seeking to patch count: %w", err)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], n)
+	if _, err := ws.Write(buf[:]); err != nil {
+		return n, fmt.Errorf("trace: patching count: %w", err)
+	}
+	if _, err := ws.Seek(0, io.SeekEnd); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// Decode reads an entire trace stream into memory.
+func Decode(r io.Reader) ([]Ref, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(tr)
+}

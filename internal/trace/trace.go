@@ -1,0 +1,269 @@
+// Package trace defines the memory-reference stream model used throughout
+// ibsim, plus a compact binary on-disk format for distributing traces.
+//
+// The paper's traces were captured with the Monster logic analyzer on a
+// DECstation 3100: complete address streams, including every user task, the
+// kernel, and (under Mach) the user-level BSD and X servers. A reference
+// therefore carries not just an address and an access kind but also the
+// protection/address-space domain it executed in, so that simulators can
+// attribute misses and execution time the way Tables 3 and 4 do.
+package trace
+
+import "fmt"
+
+// Kind discriminates reference types.
+type Kind uint8
+
+const (
+	// IFetch is an instruction fetch.
+	IFetch Kind = iota
+	// DRead is a data load.
+	DRead
+	// DWrite is a data store.
+	DWrite
+)
+
+// String returns the conventional short name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case IFetch:
+		return "ifetch"
+	case DRead:
+		return "dread"
+	case DWrite:
+		return "dwrite"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Domain identifies the address-space/protection domain a reference executed
+// in. The set matches the workload components of Table 4: the user
+// application task(s), the OS kernel, and — under a microkernel OS — the
+// user-level BSD and X display servers. Each domain is a separate virtual
+// address space (a separate ASID) for cache-indexing purposes.
+type Domain uint8
+
+const (
+	// User is the application task itself.
+	User Domain = iota
+	// Kernel is the operating-system kernel.
+	Kernel
+	// BSDServer is Mach's user-level 4.3 BSD UNIX server.
+	BSDServer
+	// XServer is the X11 display server.
+	XServer
+	// NumDomains is the number of defined domains.
+	NumDomains = 4
+)
+
+// String returns the component name used in the paper's tables.
+func (d Domain) String() string {
+	switch d {
+	case User:
+		return "User"
+	case Kernel:
+		return "Kernel"
+	case BSDServer:
+		return "BSD"
+	case XServer:
+		return "X"
+	default:
+		return fmt.Sprintf("Domain(%d)", uint8(d))
+	}
+}
+
+// Ref is a single memory reference.
+type Ref struct {
+	// Addr is the virtual byte address referenced.
+	Addr uint64
+	// Kind says whether this is an instruction fetch, load, or store.
+	Kind Kind
+	// Domain is the address space the reference executed in.
+	Domain Domain
+}
+
+// Source produces a stream of references. Next returns false when the stream
+// is exhausted or has failed; Err distinguishes the two.
+type Source interface {
+	// Next advances to the next reference, returning it and true, or a zero
+	// Ref and false at end of stream or on error.
+	Next() (Ref, bool)
+	// Err returns the first error encountered, or nil on clean exhaustion.
+	Err() error
+}
+
+// Sink consumes a stream of references.
+type Sink interface {
+	// Put consumes one reference.
+	Put(Ref) error
+}
+
+// SliceSource adapts an in-memory []Ref to a Source.
+type SliceSource struct {
+	refs []Ref
+	pos  int
+}
+
+// NewSliceSource returns a Source that yields refs in order.
+func NewSliceSource(refs []Ref) *SliceSource {
+	return &SliceSource{refs: refs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Ref, bool) {
+	if s.pos >= len(s.refs) {
+		return Ref{}, false
+	}
+	r := s.refs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Err implements Source; a SliceSource never fails.
+func (s *SliceSource) Err() error { return nil }
+
+// Reset rewinds the source to the beginning, allowing a trace held in memory
+// to be replayed against many configurations (how all the parameter sweeps
+// in Section 5 are driven).
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the total number of references in the underlying slice.
+func (s *SliceSource) Len() int { return len(s.refs) }
+
+// Collect drains src into a slice. It returns the references read and the
+// first error, if any.
+func Collect(src Source) ([]Ref, error) {
+	var out []Ref
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return out, src.Err()
+		}
+		out = append(out, r)
+	}
+}
+
+// Copy drains src into sink, returning the number of references copied and
+// the first error from either side.
+func Copy(sink Sink, src Source) (int64, error) {
+	var n int64
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return n, src.Err()
+		}
+		if err := sink.Put(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// FilterSource yields only the references of src for which keep returns
+// true.
+type FilterSource struct {
+	src  Source
+	keep func(Ref) bool
+}
+
+// NewFilterSource wraps src with a predicate.
+func NewFilterSource(src Source, keep func(Ref) bool) *FilterSource {
+	return &FilterSource{src: src, keep: keep}
+}
+
+// Next implements Source.
+func (f *FilterSource) Next() (Ref, bool) {
+	for {
+		r, ok := f.src.Next()
+		if !ok {
+			return Ref{}, false
+		}
+		if f.keep(r) {
+			return r, true
+		}
+	}
+}
+
+// Err implements Source.
+func (f *FilterSource) Err() error { return f.src.Err() }
+
+// InstructionsOnly returns a Source yielding only instruction fetches —
+// Section 5's methodology ("Throughout this analysis, we only consider
+// instruction references").
+func InstructionsOnly(src Source) Source {
+	return NewFilterSource(src, func(r Ref) bool { return r.Kind == IFetch })
+}
+
+// DomainOnly returns a Source yielding only references from domain d.
+func DomainOnly(src Source, d Domain) Source {
+	return NewFilterSource(src, func(r Ref) bool { return r.Domain == d })
+}
+
+// LimitSource yields at most n references from src.
+type LimitSource struct {
+	src Source
+	n   int64
+}
+
+// NewLimitSource wraps src, truncating it after n references.
+func NewLimitSource(src Source, n int64) *LimitSource {
+	return &LimitSource{src: src, n: n}
+}
+
+// Next implements Source.
+func (l *LimitSource) Next() (Ref, bool) {
+	if l.n <= 0 {
+		return Ref{}, false
+	}
+	l.n--
+	return l.src.Next()
+}
+
+// Err implements Source.
+func (l *LimitSource) Err() error { return l.src.Err() }
+
+// Counts tallies a reference stream by kind and domain.
+type Counts struct {
+	// ByKind[k] is the number of references of Kind k.
+	ByKind [3]int64
+	// ByDomain[d] is the number of references executed in Domain d.
+	ByDomain [NumDomains]int64
+	// Total is the overall reference count.
+	Total int64
+}
+
+// Observe records r.
+func (c *Counts) Observe(r Ref) {
+	c.Total++
+	if int(r.Kind) < len(c.ByKind) {
+		c.ByKind[r.Kind]++
+	}
+	if int(r.Domain) < len(c.ByDomain) {
+		c.ByDomain[r.Domain]++
+	}
+}
+
+// Instructions returns the number of instruction fetches observed.
+func (c *Counts) Instructions() int64 { return c.ByKind[IFetch] }
+
+// DomainFraction returns the fraction of all references executed in d, or 0
+// for an empty stream.
+func (c *Counts) DomainFraction(d Domain) float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.ByDomain[d]) / float64(c.Total)
+}
+
+// Count drains src, returning its tallies.
+func Count(src Source) (Counts, error) {
+	var c Counts
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return c, src.Err()
+		}
+		c.Observe(r)
+	}
+}

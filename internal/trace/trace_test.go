@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"testing"
+)
+
+func refs(addrs ...uint64) []Ref {
+	out := make([]Ref, len(addrs))
+	for i, a := range addrs {
+		out[i] = Ref{Addr: a, Kind: IFetch, Domain: User}
+	}
+	return out
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{IFetch: "ifetch", DRead: "dread", DWrite: "dwrite", Kind(9): "Kind(9)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestDomainString(t *testing.T) {
+	for d, want := range map[Domain]string{User: "User", Kernel: "Kernel", BSDServer: "BSD", XServer: "X", Domain(8): "Domain(8)"} {
+		if got := d.String(); got != want {
+			t.Errorf("Domain.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	in := refs(0, 4, 8)
+	s := NewSliceSource(in)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1].Addr != 4 {
+		t.Fatalf("collected %v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source yielded")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.Addr != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestFilterSource(t *testing.T) {
+	in := []Ref{
+		{Addr: 0, Kind: IFetch, Domain: User},
+		{Addr: 100, Kind: DRead, Domain: User},
+		{Addr: 4, Kind: IFetch, Domain: Kernel},
+		{Addr: 104, Kind: DWrite, Domain: Kernel},
+	}
+	got, err := Collect(InstructionsOnly(NewSliceSource(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Addr != 0 || got[1].Addr != 4 {
+		t.Fatalf("InstructionsOnly = %v", got)
+	}
+	got, err = Collect(DomainOnly(NewSliceSource(in), Kernel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Addr != 4 {
+		t.Fatalf("DomainOnly = %v", got)
+	}
+}
+
+func TestLimitSource(t *testing.T) {
+	in := refs(0, 4, 8, 12)
+	got, err := Collect(NewLimitSource(NewSliceSource(in), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("limit 2 yielded %d", len(got))
+	}
+	got, err = Collect(NewLimitSource(NewSliceSource(in), 0))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("limit 0 yielded %d, err %v", len(got), err)
+	}
+	got, err = Collect(NewLimitSource(NewSliceSource(in), 100))
+	if err != nil || len(got) != 4 {
+		t.Fatalf("limit beyond length yielded %d", len(got))
+	}
+}
+
+func TestCounts(t *testing.T) {
+	in := []Ref{
+		{Kind: IFetch, Domain: User},
+		{Kind: IFetch, Domain: Kernel},
+		{Kind: DRead, Domain: User},
+		{Kind: DWrite, Domain: XServer},
+		{Kind: IFetch, Domain: User},
+	}
+	c, err := Count(NewSliceSource(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != 5 {
+		t.Errorf("Total = %d", c.Total)
+	}
+	if c.Instructions() != 3 {
+		t.Errorf("Instructions = %d", c.Instructions())
+	}
+	if c.ByKind[DRead] != 1 || c.ByKind[DWrite] != 1 {
+		t.Errorf("data counts wrong: %v", c.ByKind)
+	}
+	if c.ByDomain[User] != 3 || c.ByDomain[Kernel] != 1 || c.ByDomain[XServer] != 1 {
+		t.Errorf("domain counts wrong: %v", c.ByDomain)
+	}
+	if got := c.DomainFraction(User); got != 0.6 {
+		t.Errorf("DomainFraction(User) = %v", got)
+	}
+	var empty Counts
+	if empty.DomainFraction(User) != 0 {
+		t.Error("empty DomainFraction != 0")
+	}
+}
+
+type errSink struct{ after int }
+
+func (e *errSink) Put(Ref) error {
+	if e.after <= 0 {
+		return errTest
+	}
+	e.after--
+	return nil
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestCopyPropagatesSinkError(t *testing.T) {
+	n, err := Copy(&errSink{after: 2}, NewSliceSource(refs(0, 4, 8, 12)))
+	if err != errTest {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("copied %d before error, want 2", n)
+	}
+}

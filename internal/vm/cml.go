@@ -1,0 +1,130 @@
+package vm
+
+import (
+	"fmt"
+
+	"ibsim/internal/trace"
+)
+
+// CML models a Cache Miss Lookaside buffer (Bershad, Lee, Romer & Chen,
+// ASPLOS 1994), the mechanism the paper's Figure 5 discussion positions
+// associative L2 caches against: "on-chip, associative L2 caches offer an
+// attractive alternative to the recently-proposed cache miss lookaside
+// buffers, which detect and remove conflict misses only after they begin to
+// affect performance."
+//
+// The CML hardware counts cache misses per physical page; when a page's
+// miss count crosses a threshold within a detection window, the OS is
+// interrupted and recolors (remaps) the page to the currently least-loaded
+// cache color. Detection is therefore reactive — the misses that triggered
+// it have already been paid, which is exactly the paper's criticism.
+type CML struct {
+	mapper *Mapper
+	// counts[pfn] accumulates misses in the current window.
+	counts map[uint64]int
+	// occupancy[color] counts active pages (pages that have missed at least
+	// once) currently mapped to each color; recoloring targets the
+	// least-occupied color.
+	occupancy []int
+	// knownColor records each active page's current color so occupancy can
+	// be maintained across remaps.
+	knownColor map[mapKey]int
+	// remap[key] overrides the mapper's translation for recolored pages.
+	remap map[mapKey]uint64
+	// cooled marks pages recolored in the current window: a page moves at
+	// most once per detection window, so its own cold refill misses cannot
+	// immediately re-trigger detection.
+	cooled map[mapKey]bool
+
+	threshold int
+	window    int64
+	seen      int64
+
+	pageShift uint
+	colors    uint64
+	nextFree  uint64 // frame-group counter for recolored pages
+
+	// Remaps counts pages recolored (each one models an OS interrupt plus
+	// a page copy).
+	Remaps int
+}
+
+// NewCML wraps a Mapper with CML detection for a cache with the given
+// number of colors (cache bytes per way ÷ page size). threshold is the
+// misses-per-page that trigger recoloring within each window of misses.
+func NewCML(m *Mapper, colors int, threshold int, window int64) (*CML, error) {
+	if colors <= 0 || colors&(colors-1) != 0 {
+		return nil, fmt.Errorf("vm: CML colors %d must be a positive power of two", colors)
+	}
+	if threshold < 1 {
+		return nil, fmt.Errorf("vm: CML threshold %d must be >= 1", threshold)
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("vm: CML window %d must be >= 1", window)
+	}
+	return &CML{
+		mapper:     m,
+		counts:     make(map[uint64]int),
+		occupancy:  make([]int, colors),
+		knownColor: make(map[mapKey]int),
+		remap:      make(map[mapKey]uint64),
+		cooled:     make(map[mapKey]bool),
+		threshold:  threshold,
+		window:     window,
+		pageShift:  m.pageShift,
+		colors:     uint64(colors),
+		nextFree:   1 << 30 >> m.pageShift, // recolored pages live in a high frame region
+	}, nil
+}
+
+// Translate translates addr, honoring any recoloring already performed.
+func (c *CML) Translate(addr uint64, d trace.Domain) uint64 {
+	key := mapKey{domain: d, vpn: addr >> c.pageShift}
+	if pfn, ok := c.remap[key]; ok {
+		return pfn<<c.pageShift | (addr & uint64(c.mapper.cfg.PageSize-1))
+	}
+	return c.mapper.Translate(addr, d)
+}
+
+// ObserveMiss records a cache miss at the translated physical address; when
+// the page crosses the threshold the page is recolored to the least-loaded
+// color. Call with the address returned by Translate.
+func (c *CML) ObserveMiss(paddr uint64, addr uint64, d trace.Domain) {
+	pfn := paddr >> c.pageShift
+	key := mapKey{domain: d, vpn: addr >> c.pageShift}
+	if _, known := c.knownColor[key]; !known {
+		color := int(pfn & (c.colors - 1))
+		c.knownColor[key] = color
+		c.occupancy[color]++
+	}
+	c.counts[pfn]++
+	c.seen++
+	if c.seen >= c.window {
+		// New detection window: miss counters and remap cooldowns reset;
+		// occupancy persists (pages stay where they are).
+		c.seen = 0
+		c.counts = make(map[uint64]int)
+		c.cooled = make(map[mapKey]bool)
+		return
+	}
+	if c.counts[pfn] < c.threshold || c.cooled[key] {
+		return
+	}
+	// Recolor: move the page to the least-occupied color.
+	best := 0
+	for col := 1; col < len(c.occupancy); col++ {
+		if c.occupancy[col] < c.occupancy[best] {
+			best = col
+		}
+	}
+	group := c.nextFree / c.colors
+	newPFN := group*c.colors + uint64(best)
+	c.nextFree += c.colors
+	c.occupancy[c.knownColor[key]]--
+	c.occupancy[best]++
+	c.knownColor[key] = best
+	c.remap[key] = newPFN
+	c.cooled[key] = true
+	delete(c.counts, pfn)
+	c.Remaps++
+}

@@ -1,0 +1,121 @@
+package vm
+
+import (
+	"testing"
+
+	"ibsim/internal/cache"
+	"ibsim/internal/trace"
+)
+
+func TestCMLValidation(t *testing.T) {
+	m := MustNewMapper(Config{Policy: RandomAlloc, Seed: 1})
+	if _, err := NewCML(m, 0, 4, 1000); err == nil {
+		t.Error("zero colors accepted")
+	}
+	if _, err := NewCML(m, 12, 4, 1000); err == nil {
+		t.Error("non-power-of-two colors accepted")
+	}
+	if _, err := NewCML(m, 16, 0, 1000); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewCML(m, 16, 4, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestCMLTranslateConsistent(t *testing.T) {
+	m := MustNewMapper(Config{Policy: RandomAlloc, Seed: 2})
+	c, err := NewCML(m, 16, 4, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := c.Translate(0x1234, trace.User)
+	a2 := c.Translate(0x1234, trace.User)
+	if a1 != a2 {
+		t.Fatal("translation unstable")
+	}
+	if a1&0xFFF != 0x234 {
+		t.Fatal("offset not preserved")
+	}
+}
+
+func TestCMLRecolorsHotPage(t *testing.T) {
+	m := MustNewMapper(Config{Policy: Sequential})
+	c, err := NewCML(m, 16, 4, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(0x4000)
+	before := c.Translate(addr, trace.User)
+	// Report repeated misses on the page: crossing the threshold recolors.
+	for i := 0; i < 4; i++ {
+		c.ObserveMiss(c.Translate(addr, trace.User), addr, trace.User)
+	}
+	after := c.Translate(addr, trace.User)
+	if c.Remaps != 1 {
+		t.Fatalf("Remaps = %d, want 1", c.Remaps)
+	}
+	if before>>12 == after>>12 {
+		t.Fatal("page not moved to a new frame")
+	}
+	if after&0xFFF != addr&0xFFF {
+		t.Fatal("offset lost after recolor")
+	}
+	// Re-observing misses on the new frame can trigger another remap, but
+	// the counter for the old frame must be gone.
+	if got := c.counts[before>>12]; got != 0 {
+		t.Fatalf("old frame counter survived: %d", got)
+	}
+}
+
+func TestCMLWindowResets(t *testing.T) {
+	m := MustNewMapper(Config{Policy: Sequential})
+	c, _ := NewCML(m, 16, 10, 5) // threshold 10 can never fire with window 5
+	addr := uint64(0x8000)
+	for i := 0; i < 50; i++ {
+		c.ObserveMiss(c.Translate(addr, trace.User), addr, trace.User)
+	}
+	if c.Remaps != 0 {
+		t.Fatalf("remaps fired despite window < threshold: %d", c.Remaps)
+	}
+}
+
+// End-to-end: a working set that *fits* the cache but collides under random
+// page mapping — exactly the pathology CML exists to repair. Recoloring the
+// hot colliding pages onto empty colors should remove the conflict misses.
+func TestCMLReducesConflicts(t *testing.T) {
+	const cacheSize = 64 * 1024
+	colors := cacheSize / 4096 // 16
+	const pages = 12           // fits: 12 of 16 page slots
+	run := func(useCML bool) int64 {
+		m := MustNewMapper(Config{Policy: RandomAlloc, Seed: 77})
+		cml, err := NewCML(m, colors, 16, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cache.MustNew(cache.Config{Size: cacheSize, LineSize: 32, Assoc: 1})
+		misses := int64(0)
+		for i := 0; i < 300_000; i++ {
+			// Round-robin over the pages, touching every line of each page
+			// over time: colliding pages evict each other continually.
+			page := uint64(i % pages)
+			addr := page<<12 | uint64((i/pages)%128)<<5
+			pa := cml.Translate(addr, trace.User)
+			if !c.Access(pa) {
+				misses++
+				if useCML {
+					cml.ObserveMiss(pa, addr, trace.User)
+				}
+			}
+		}
+		return misses
+	}
+	plain := run(false)
+	with := run(true)
+	if plain < 10_000 {
+		t.Fatalf("random mapping produced no conflict pathology to repair (misses = %d)", plain)
+	}
+	if with >= plain/4 {
+		t.Fatalf("CML did not repair the conflicts: %d vs %d", with, plain)
+	}
+}
