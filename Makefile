@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet cover tables extensions calibration examples clean
+.PHONY: all build test test-short race check bench vet cover tables extensions calibration examples clean
 
-all: build vet test
+all: build vet test race check
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,17 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-certify the parallel experiment runners (includes the
+# parallel-vs-serial differential test in internal/experiments).
+race:
+	$(GO) test -race -short ./...
+
+# Simulator verification + benchmark regression: invariant checks,
+# differential tests, and the pinned golden comparison. Writes
+# BENCH_ibsim.json.
+check:
+	$(GO) run ./cmd/ibscheck -n 200000
 
 bench:
 	$(GO) test -bench=. -benchmem .

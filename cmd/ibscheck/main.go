@@ -1,0 +1,108 @@
+// Command ibscheck is the simulator-verification and benchmark-regression
+// harness: it runs internal/check's invariant and differential checks,
+// times the pinned benchmark stages, compares CPI/MPI against the committed
+// goldens, and writes a machine-readable report.
+//
+// Usage:
+//
+//	ibscheck                       # full run at the pinned golden scale
+//	ibscheck -n 1000000            # larger run (golden comparison skipped)
+//	ibscheck -o perf/BENCH.json    # report path (default BENCH_ibsim.json)
+//	ibscheck -print-golden         # emit the golden.go literal for this run
+//
+// The exit status is 0 only when every check passes and every tracked stage
+// is within golden tolerance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ibsim/internal/check"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("ibscheck", flag.ContinueOnError)
+	n := fs.Int64("n", check.PinnedInstructions, "per-workload instruction budget")
+	seed := fs.Uint64("seed", 0, "seed offset (0 = calibrated profile seeds)")
+	out := fs.String("o", "BENCH_ibsim.json", "report output path (empty disables)")
+	printGolden := fs.Bool("print-golden", false, "print the golden.go literal for this run's stage values and exit")
+	benchOnly := fs.Bool("bench-only", false, "skip invariant/differential checks, run only the bench stages")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	opt := check.Options{Instructions: *n, Seed: *seed}
+	start := time.Now()
+
+	var results []check.Result
+	if !*benchOnly && !*printGolden {
+		var err error
+		results, err = check.RunAll(opt)
+		for _, r := range results {
+			fmt.Printf("%-4s %-42s %s (%.2fs)\n", verdict(r.Passed), r.Name, r.Detail, r.Seconds)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: harness failure: %v\n", err)
+			return 2
+		}
+	}
+
+	stages, err := check.RunBench(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+		return 2
+	}
+	if *printGolden {
+		fmt.Printf("// Measured at -n %d -seed %d.\n%s", *n, *seed, check.GoldenLiteral(stages))
+		return 0
+	}
+	stagesOK := true
+	for _, s := range stages {
+		fmt.Printf("%-4s bench/%-36s %s (%.2fs)\n", verdict(s.Passed), s.Name, s.Detail, s.Seconds)
+		stagesOK = stagesOK && s.Passed
+	}
+
+	report := check.Report{
+		Schema:       "ibsim-bench/v1",
+		Instructions: *n,
+		Seed:         *seed,
+		GoldenScale:  *n == check.PinnedInstructions && *seed == 0,
+		Checks:       results,
+		Stages:       stages,
+		Passed:       check.AllPassed(results) && stagesOK,
+		TotalSeconds: time.Since(start).Seconds(),
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: marshaling report: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: writing %s: %v\n", *out, err)
+			return 2
+		}
+		fmt.Printf("report: %s\n", *out)
+	}
+	if !report.Passed {
+		fmt.Println("FAIL")
+		return 1
+	}
+	fmt.Printf("PASS (%d checks, %d stages, %.2fs)\n", len(results), len(stages), report.TotalSeconds)
+	return 0
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}

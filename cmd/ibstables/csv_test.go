@@ -1,0 +1,172 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ibsim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the CSV golden files in testdata/")
+
+// csvGoldenCases drives toCSV over representative renderer outputs. Inputs
+// mirror renderTable's stable text format: title line, header row, dashed
+// rule, aligned body rows; columns separated by two or more spaces.
+var csvGoldenCases = []struct {
+	name   string
+	golden string
+	input  string
+}{
+	{
+		name:   "simple",
+		golden: "simple.csv",
+		input: "Table X: A small exhibit\n" +
+			"Benchmark  CPI    MPI\n" +
+			"---------------------\n" +
+			"gs         0.338  0.048\n" +
+			"verilog    0.251  0.036\n",
+	},
+	{
+		name:   "numeric-formats",
+		golden: "numeric.csv",
+		input: "Table Y: Numeric formatting survives\n" +
+			"Size   Ratio   Pct   Sci\n" +
+			"------------------------\n" +
+			"8KB    0.048   5%    1.5e-09\n" +
+			"128KB  0.016   2%    -0.25\n",
+	},
+	{
+		name:   "quoting",
+		golden: "quoting.csv",
+		input: "Table Z: Cells needing RFC-4180 quoting\n" +
+			"Config           Note\n" +
+			"---------------------\n" +
+			"8KB/32B/direct   plain cell\n" +
+			"a,b              has \"quotes\", and commas\n",
+	},
+	{
+		name:   "multi-table",
+		golden: "multi.csv",
+		input: "Table A: First block\n" +
+			"Col1  Col2\n" +
+			"----------\n" +
+			"1     2\n" +
+			"\n" +
+			"Table B: Second block\n" +
+			"ColA  ColB  ColC\n" +
+			"----------------\n" +
+			"x     y     z\n",
+	},
+}
+
+// TestToCSVGolden pins toCSV's output byte for byte against committed golden
+// files (regenerate with `go test ./cmd/ibstables -run Golden -update`).
+func TestToCSVGolden(t *testing.T) {
+	for _, tc := range csvGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := toCSV(tc.input)
+			path := filepath.Join("testdata", tc.golden)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("golden missing (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("toCSV output drifted from %s:\n--- got\n%s--- want\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestToCSVStructure checks the structural contract independent of goldens:
+// one comment line per title, a header row, and a constant column count per
+// block.
+func TestToCSVStructure(t *testing.T) {
+	for _, tc := range csvGoldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := toCSV(tc.input)
+			var cols int
+			for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+				switch {
+				case line == "":
+					cols = 0 // block break
+				case strings.HasPrefix(line, "# "):
+					cols = 0 // title; next line is the header
+				default:
+					n := len(splitCSVRecord(line))
+					if cols == 0 {
+						cols = n // header row fixes the block's width
+					} else if n != cols {
+						t.Errorf("row %q has %d columns, header had %d", line, n, cols)
+					}
+				}
+			}
+		})
+	}
+}
+
+// splitCSVRecord splits one CSV record, honoring RFC-4180 quotes.
+func splitCSVRecord(line string) []string {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ',' && !inQuote:
+			fields = append(fields, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	return append(fields, cur.String())
+}
+
+// TestToCSVRealExhibit feeds a real rendered exhibit through toCSV: no body
+// row may be wider than the header (summary rows like "Average" legitimately
+// span fewer columns), and per-workload rows must match it exactly.
+func TestToCSVRealExhibit(t *testing.T) {
+	res, err := ibsim.Table4(ibsim.Options{Instructions: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := toCSV(res.Render())
+	lines := strings.Split(strings.TrimSuffix(got, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("CSV too short:\n%s", got)
+	}
+	if !strings.HasPrefix(lines[0], "# ") {
+		t.Errorf("first line is not a title comment: %q", lines[0])
+	}
+	header := splitCSVRecord(lines[1])
+	if len(header) < 2 {
+		t.Fatalf("header has %d columns: %q", len(header), lines[1])
+	}
+	full := 0
+	for _, line := range lines[2:] {
+		n := len(splitCSVRecord(line))
+		if n > len(header) {
+			t.Errorf("row %q has %d columns, header has only %d", line, n, len(header))
+		}
+		if n == len(header) {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Errorf("no body row matches the header's %d columns:\n%s", len(header), got)
+	}
+}

@@ -122,9 +122,10 @@ func GenerateInstructionTrace(w Workload, n int64) ([]Ref, error) {
 }
 
 // SimulateCache replays n instructions of w through a cache and returns its
-// statistics.
+// statistics. The reference stream is generated on the fly (never
+// materialized), so memory use is independent of n.
 func SimulateCache(w Workload, cfg CacheConfig, n int64) (CacheStats, error) {
-	refs, err := synth.InstrTrace(w, 0, n)
+	src, err := synth.InstrSource(w, 0, n)
 	if err != nil {
 		return CacheStats{}, err
 	}
@@ -132,10 +133,14 @@ func SimulateCache(w Workload, cfg CacheConfig, n int64) (CacheStats, error) {
 	if err != nil {
 		return CacheStats{}, err
 	}
-	for _, r := range refs {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
 		c.Access(r.Addr)
 	}
-	return c.Stats(), nil
+	return c.Stats(), src.Err()
 }
 
 // FetchConfig selects and parameterizes a fetch engine.
@@ -167,9 +172,11 @@ func (fc FetchConfig) engine() (fetch.Engine, error) {
 }
 
 // SimulateFetch runs n instructions of w through the configured fetch engine
-// and returns its CPIinstr result.
+// and returns its CPIinstr result. Like SimulateCache, it drives the engine
+// from the streaming generator in O(1) memory; internal/check asserts the
+// result is bit-identical to replaying a materialized trace.
 func SimulateFetch(w Workload, fc FetchConfig, n int64) (FetchResult, error) {
-	refs, err := synth.InstrTrace(w, 0, n)
+	src, err := synth.InstrSource(w, 0, n)
 	if err != nil {
 		return FetchResult{}, err
 	}
@@ -177,7 +184,7 @@ func SimulateFetch(w Workload, fc FetchConfig, n int64) (FetchResult, error) {
 	if err != nil {
 		return FetchResult{}, err
 	}
-	return fetch.Run(e, refs), nil
+	return fetch.RunSource(e, src)
 }
 
 // SimulateSystem runs n instructions of w (with data references) through the

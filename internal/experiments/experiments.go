@@ -30,6 +30,12 @@ type Options struct {
 	// Trials is the number of Tapeworm-style repeat runs for variability
 	// experiments (default 5, as in Figure 5).
 	Trials int
+	// Serial forces the per-workload runners (mapTraces, mapProfiles) onto
+	// a single goroutine. Results must be bit-identical to the parallel
+	// path — internal/check and the differential tests in this package
+	// enforce that — so Serial exists as the trusted reference executor,
+	// not as a semantic switch.
+	Serial bool
 }
 
 func (o Options) withDefaults() Options {
@@ -94,54 +100,53 @@ func traceWorkers() int {
 
 // mapTraces runs worker over every profile's instruction trace concurrently
 // and returns per-profile results in profile order, so reductions stay
-// deterministic regardless of scheduling.
+// deterministic regardless of scheduling. With opt.Serial the profiles run
+// one at a time on the calling goroutine — the differential reference path.
 func mapTraces[T any](profiles []synth.Profile, opt Options, worker func(p synth.Profile, refs []trace.Ref) (T, error)) ([]T, error) {
-	results := make([]T, len(profiles))
-	errs := make([]error, len(profiles))
-	sem := make(chan struct{}, traceWorkers())
-	var wg sync.WaitGroup
-	for i := range profiles {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			refs, err := synth.InstrTrace(profiles[i], opt.Seed, opt.Instructions)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			results[i], errs[i] = worker(profiles[i], refs)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	run := func(i int) (T, error) {
+		refs, err := synth.InstrTrace(profiles[i], opt.Seed, opt.Instructions)
 		if err != nil {
-			return nil, err
+			var zero T
+			return zero, err
 		}
+		return worker(profiles[i], refs)
 	}
-	return results, nil
+	return mapOrdered(len(profiles), opt.Serial, run)
 }
 
 // mapProfiles runs worker over profiles concurrently (bounded by
 // traceWorkers) and returns results in profile order. Unlike mapTraces, the
 // worker generates its own reference stream — used by whole-system
 // experiments that need interleaved data references.
-func mapProfiles[T any](profiles []synth.Profile, worker func(p synth.Profile) (T, error)) ([]T, error) {
-	results := make([]T, len(profiles))
-	errs := make([]error, len(profiles))
-	sem := make(chan struct{}, traceWorkers())
-	var wg sync.WaitGroup
-	for i := range profiles {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = worker(profiles[i])
-		}(i)
+func mapProfiles[T any](profiles []synth.Profile, opt Options, worker func(p synth.Profile) (T, error)) ([]T, error) {
+	return mapOrdered(len(profiles), opt.Serial, func(i int) (T, error) {
+		return worker(profiles[i])
+	})
+}
+
+// mapOrdered executes run(0..n-1), serially or on traceWorkers-bounded
+// goroutines, and returns the results in index order with the first error.
+func mapOrdered[T any](n int, serial bool, run func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	if serial {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = run(i)
+		}
+	} else {
+		sem := make(chan struct{}, traceWorkers())
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = run(i)
+			}(i)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -31,7 +31,7 @@ type Table1Result struct {
 // model.
 func Table1(opt Options) (*Table1Result, error) {
 	opt = opt.withDefaults()
-	rows, err := mapProfiles(synth.SPECSuites(), func(p synth.Profile) (Table1Row, error) {
+	rows, err := mapProfiles(synth.SPECSuites(), opt, func(p synth.Profile) (Table1Row, error) {
 		return decstationRow(p, opt)
 	})
 	if err != nil {
@@ -100,7 +100,7 @@ func Table3(opt Options) (*Table3Result, error) {
 		var row Table3Row
 		row.Suite = name
 		n := float64(len(profiles))
-		perRows, err := mapProfiles(profiles, func(p synth.Profile) (Table1Row, error) {
+		perRows, err := mapProfiles(profiles, opt, func(p synth.Profile) (Table1Row, error) {
 			return decstationRow(p, opt)
 		})
 		if err != nil {

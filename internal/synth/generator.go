@@ -480,4 +480,17 @@ func InstrTrace(prof Profile, seed uint64, n int64) ([]trace.Ref, error) {
 	return out, nil
 }
 
+// InstrSource returns a Source yielding exactly n instruction-fetch
+// references — the same stream InstrTrace materializes, but generated on
+// demand so arbitrarily long runs use O(1) memory.
+func InstrSource(prof Profile, seed uint64, n int64) (trace.Source, error) {
+	p := prof
+	p.Data = DataProfile{}
+	g, err := NewGenerator(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return trace.NewLimitSource(g, n), nil
+}
+
 var _ trace.Source = (*Generator)(nil)

@@ -2,8 +2,96 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"testing"
 )
+
+// encodeValid returns the encoded bytes of refs via the counted
+// (self-describing) path.
+func encodeValid(t testing.TB, refs []Ref) []byte {
+	t.Helper()
+	var buf seekBuffer // shared with codec_test.go
+	if _, err := EncodeSeeker(&buf, NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.buf
+}
+
+// corpusRefs is the reference stream the corrupt-stream corpus mutates.
+var corpusRefs = []Ref{
+	{Addr: 0x400000, Kind: IFetch, Domain: User},
+	{Addr: 0x400004, Kind: IFetch, Domain: User},
+	{Addr: 0x80001000, Kind: DWrite, Domain: Kernel},
+	{Addr: 0x30000f00, Kind: DRead, Domain: BSDServer},
+	{Addr: 0x400008, Kind: IFetch, Domain: User},
+}
+
+// FuzzDecode feeds arbitrary record bodies behind a well-formed header and
+// asserts the decoder's error contract: Decode either succeeds (delivering
+// exactly the declared record count, when one is declared) or returns a
+// typed ErrCorrupt/ErrTruncated — and never panics.
+func FuzzDecode(f *testing.F) {
+	valid := encodeValid(f, corpusRefs)
+	body := valid[headerSize:]
+
+	// Seed corpus: the well-formed body plus the corruption classes the
+	// decoder must classify.
+	f.Add(uint64(len(corpusRefs)), body)                                      // intact
+	f.Add(uint64(len(corpusRefs)), body[:len(body)-1])                        // truncated mid-varint
+	f.Add(uint64(len(corpusRefs)+3), body)                                    // count overstates records
+	f.Add(uint64(len(corpusRefs)), append([]byte{0x7f}, body...))             // invalid tag (0x60 bits set)
+	f.Add(uint64(1), []byte{0x00})                                            // tag with missing delta
+	f.Add(uint64(1), append([]byte{0x00}, bytes.Repeat([]byte{0x80}, 11)...)) // varint overflow
+	f.Add(uint64(0), body)                                                    // count-less stream
+	f.Add(uint64(0), []byte{})                                                // empty body
+
+	f.Fuzz(func(t *testing.T, count uint64, recs []byte) {
+		data := make([]byte, headerSize+len(recs))
+		copy(data, Magic)
+		binary.LittleEndian.PutUint16(data[8:10], Version)
+		binary.LittleEndian.PutUint64(data[12:20], count)
+		copy(data[headerSize:], recs)
+
+		refs, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("decode error is not typed ErrCorrupt/ErrTruncated: %v", err)
+			}
+			return
+		}
+		if count > 0 && uint64(len(refs)) != count {
+			t.Fatalf("decode succeeded with %d records, header declared %d", len(refs), count)
+		}
+	})
+}
+
+// FuzzHeader fuzzes the fixed header: NewReader must accept exactly
+// well-formed headers and classify everything else with a typed error.
+func FuzzHeader(f *testing.F) {
+	valid := encodeValid(f, corpusRefs)
+	f.Add(valid[:headerSize])
+	f.Add([]byte("IBSTRACE"))                                                 // short header
+	f.Add([]byte("IBSTRACF\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")) // bad magic
+	f.Add([]byte{})
+	bad := append([]byte{}, valid[:headerSize]...)
+	bad[8] = 0xff // absurd version
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, hdr []byte) {
+		r, err := NewReader(bytes.NewReader(hdr))
+		if err != nil {
+			return // rejected header: fine, and must not panic
+		}
+		// Accepted: the header must really have been well-formed.
+		if len(hdr) < headerSize || string(hdr[:8]) != Magic ||
+			binary.LittleEndian.Uint16(hdr[8:10]) != Version {
+			t.Fatalf("NewReader accepted malformed header % x", hdr)
+		}
+		_, _ = r.Next()
+		_ = r.Err()
+	})
+}
 
 // FuzzReader ensures arbitrary byte streams never panic the decoder and that
 // declared-count traces either decode fully or error.
