@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check bench vet cover tables extensions calibration examples clean
+.PHONY: all build test test-short race check bench microbench vet cover tables extensions calibration examples clean
 
 all: build vet test race check
 
@@ -30,8 +30,16 @@ race:
 check:
 	$(GO) run ./cmd/ibscheck -n 200000
 
+# Benchmark-regression run: times the pinned stages plus the Figure 3+4
+# sweep-vs-per-config comparison at the golden scale, records wall-clock
+# and speedup in BENCH_ibsim.json, and exits non-zero if the sweep
+# engine's speedup regresses more than 20% against the recorded baseline.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/ibscheck -bench-only -n 200000
+
+# Go microbenchmarks (cache hot path, sweep engine, generators).
+microbench:
+	$(GO) test -bench=. -benchmem ./...
 
 cover:
 	$(GO) test -cover ./...

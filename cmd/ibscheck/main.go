@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ibsim/internal/check"
@@ -35,8 +37,39 @@ func run(args []string) int {
 	out := fs.String("o", "BENCH_ibsim.json", "report output path (empty disables)")
 	printGolden := fs.Bool("print-golden", false, "print the golden.go literal for this run's stage values and exit")
 	benchOnly := fs.Bool("bench-only", false, "skip invariant/differential checks, run only the bench stages")
+	noFigures := fs.Bool("no-figures", false, "skip the Figure 3+4 sweep-vs-per-config benchmark")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ibscheck: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ibscheck: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	opt := check.Options{Instructions: *n, Seed: *seed}
@@ -70,6 +103,18 @@ func run(args []string) int {
 		stagesOK = stagesOK && s.Passed
 	}
 
+	var figures *check.FigureBench
+	if !*noFigures {
+		figures, err = check.RunFigureBench(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+			return 2
+		}
+		fmt.Printf("%-4s bench/%-36s %s (%.2fs)\n", verdict(figures.Passed), "figure34-sweep", figures.Detail,
+			figures.PerConfigSeconds+figures.SweepSeconds)
+		stagesOK = stagesOK && figures.Passed
+	}
+
 	report := check.Report{
 		Schema:       "ibsim-bench/v1",
 		Instructions: *n,
@@ -77,6 +122,7 @@ func run(args []string) int {
 		GoldenScale:  *n == check.PinnedInstructions && *seed == 0,
 		Checks:       results,
 		Stages:       stages,
+		Figure34:     figures,
 		Passed:       check.AllPassed(results) && stagesOK,
 		TotalSeconds: time.Since(start).Seconds(),
 	}

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -263,6 +265,11 @@ var exhibits = map[string]renderer{
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries main's body so profile-writing defers fire before exit.
+func run() int {
 	which := flag.String("experiment", "all", "which exhibit to regenerate (table1..table8, figure1..figure7, extension names, all)")
 	ext := flag.Bool("extensions", false, "also run the beyond-the-paper extension/ablation studies")
 	n := flag.Int64("n", 2_000_000, "instructions simulated per workload")
@@ -270,7 +277,37 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress timing")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	chart := flag.Bool("chart", false, "render figure1/figure7 as ASCII stacked-bar charts (as in the paper)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibstables: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ibstables: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ibstables: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ibstables: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	if *chart {
 		exhibits["figure1"] = func(o ibsim.Options) (string, error) {
 			r, err := ibsim.Figure1(o)
@@ -298,7 +335,7 @@ func main() {
 		if _, ok := exhibits[name]; !ok {
 			fmt.Fprintf(os.Stderr, "ibstables: unknown experiment %q (have %s; %s; all)\n",
 				*which, strings.Join(exhibitOrder, ", "), strings.Join(extensionOrder, ", "))
-			os.Exit(2)
+			return 2
 		}
 		names = []string{name}
 	}
@@ -307,7 +344,7 @@ func main() {
 		out, err := exhibits[name](opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ibstables: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		if *csv {
 			out = toCSV(out)
@@ -317,4 +354,5 @@ func main() {
 			fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
 		}
 	}
+	return 0
 }

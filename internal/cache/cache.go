@@ -171,13 +171,21 @@ type Cache struct {
 	setMask    uint64
 	subShift   uint
 	subPerLine uint
-	ways       []way // sets × assoc, row-major
-	clock      uint64
-	rng        *xrand.Source
-	stats      Stats
+	// assoc and isLRU mirror cfg.Assoc and cfg.Replacement == LRU, hoisted
+	// into the hot path: Access/Lookup run once per simulated instruction
+	// across every experiment, and the flattened fields keep the per-access
+	// work to a handful of register operations with zero allocations (the
+	// package benchmarks pin that).
+	assoc int
+	isLRU bool
+	ways  []way // sets × assoc, row-major; sized once at construction
+	clock uint64
+	rng   *xrand.Source
+	stats Stats
 }
 
-// New validates cfg and returns an empty cache.
+// New validates cfg and returns an empty cache. The tag store is allocated
+// once here, at its exact final size — no access ever grows or allocates.
 func New(cfg Config) (*Cache, error) {
 	cfg, err := cfg.validate()
 	if err != nil {
@@ -188,6 +196,8 @@ func New(cfg Config) (*Cache, error) {
 		lineShift: log2(uint64(cfg.LineSize)),
 		setShift:  log2(uint64(cfg.Sets())),
 		setMask:   uint64(cfg.Sets() - 1),
+		assoc:     cfg.Assoc,
+		isLRU:     cfg.Replacement == LRU,
 		ways:      make([]way, cfg.Lines()),
 	}
 	if cfg.SubBlock != 0 {
@@ -258,10 +268,19 @@ func (c *Cache) subBit(addr uint64) uint64 {
 
 // find returns the index into c.ways of the way holding lineAddr, or -1.
 func (c *Cache) find(lineAddr uint64) int {
-	set := c.setIndex(lineAddr)
-	tag := c.tagOf(lineAddr)
-	base := int(set) * c.cfg.Assoc
-	for i := 0; i < c.cfg.Assoc; i++ {
+	set := lineAddr & c.setMask
+	tag := lineAddr >> c.setShift
+	base := int(set) * c.assoc
+	if c.assoc == 1 {
+		// Direct-mapped fast path — the paper's dominant geometry: one tag
+		// compare, no way loop.
+		w := &c.ways[base]
+		if w.valid && w.tag == tag {
+			return base
+		}
+		return -1
+	}
+	for i := 0; i < c.assoc; i++ {
 		w := &c.ways[base+i]
 		if w.valid && w.tag == tag {
 			return base + i
@@ -282,7 +301,7 @@ func (c *Cache) Access(addr uint64) bool {
 		w := &c.ways[i]
 		if c.subPerLine == 0 || w.subValid&c.subBit(addr) != 0 {
 			c.stats.Hits++
-			if c.cfg.Replacement == LRU {
+			if c.isLRU {
 				w.stamp = c.clock
 			}
 			return true
@@ -292,7 +311,7 @@ func (c *Cache) Access(addr uint64) bool {
 		c.stats.Misses++
 		c.stats.SubMisses++
 		c.fillSubBlocks(w, addr)
-		if c.cfg.Replacement == LRU {
+		if c.isLRU {
 			w.stamp = c.clock
 		}
 		return false
@@ -313,7 +332,7 @@ func (c *Cache) Lookup(addr uint64) bool {
 		w := &c.ways[i]
 		if c.subPerLine == 0 || w.subValid&c.subBit(addr) != 0 {
 			c.stats.Hits++
-			if c.cfg.Replacement == LRU {
+			if c.isLRU {
 				w.stamp = c.clock
 			}
 			return true
@@ -368,10 +387,10 @@ func (c *Cache) FillEvict(addr uint64) (evicted uint64, wasValid bool) {
 // it returns the evicted line's byte address when a valid line was cast out.
 func (c *Cache) fill(lineAddr, addr uint64) (evicted uint64, wasValid bool) {
 	set := c.setIndex(lineAddr)
-	base := int(set) * c.cfg.Assoc
+	base := int(set) * c.assoc
 	victim := -1
 	// Prefer an invalid way.
-	for i := 0; i < c.cfg.Assoc; i++ {
+	for i := 0; i < c.assoc; i++ {
 		if !c.ways[base+i].valid {
 			victim = base + i
 			break
@@ -381,10 +400,10 @@ func (c *Cache) fill(lineAddr, addr uint64) (evicted uint64, wasValid bool) {
 		c.stats.Evictions++
 		switch c.cfg.Replacement {
 		case Random:
-			victim = base + c.rng.Intn(c.cfg.Assoc)
+			victim = base + c.rng.Intn(c.assoc)
 		default: // LRU and FIFO both evict the minimum stamp
 			victim = base
-			for i := 1; i < c.cfg.Assoc; i++ {
+			for i := 1; i < c.assoc; i++ {
 				if c.ways[base+i].stamp < c.ways[victim].stamp {
 					victim = base + i
 				}

@@ -455,3 +455,59 @@ func TestSubBitNonSector(t *testing.T) {
 		}
 	}
 }
+
+// TestAccessNoAllocs pins the hot path's zero-allocation property: Access,
+// Lookup, and Fill must never allocate, hit or miss, at any associativity.
+func TestAccessNoAllocs(t *testing.T) {
+	for _, cfg := range []Config{
+		{Size: 8192, LineSize: 32, Assoc: 1},
+		{Size: 65536, LineSize: 64, Assoc: 8},
+		{Size: 8192, LineSize: 64, Assoc: 1, SubBlock: 16},
+	} {
+		c := MustNew(cfg)
+		var addr uint64
+		if n := testing.AllocsPerRun(2000, func() {
+			c.Access(addr) // cold: miss+fill; warm: hit
+			c.Lookup(addr)
+			c.Fill(addr + 1<<20) // conflicting line: fill+evict
+			addr += 4
+		}); n != 0 {
+			t.Errorf("%v: %v allocs per access round, want 0", cfg, n)
+		}
+	}
+}
+
+// BenchmarkAccessHitDM measures the direct-mapped hit fast path: every
+// access after the first re-touches a resident line.
+func BenchmarkAccessHitDM(b *testing.B) {
+	c := MustNew(Config{Size: 8192, LineSize: 32, Assoc: 1})
+	c.Access(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0)
+	}
+}
+
+// BenchmarkAccessHit8Way measures the associative hit path (LRU stamp
+// update plus way scan).
+func BenchmarkAccessHit8Way(b *testing.B) {
+	c := MustNew(Config{Size: 65536, LineSize: 32, Assoc: 8})
+	c.Access(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0)
+	}
+}
+
+// BenchmarkAccessMissDM measures the miss+fill path: two lines conflicting
+// in one direct-mapped set, so every access evicts.
+func BenchmarkAccessMissDM(b *testing.B) {
+	c := MustNew(Config{Size: 8192, LineSize: 32, Assoc: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i&1) << 20)
+	}
+}

@@ -99,6 +99,7 @@ func RunAll(opt Options) ([]Result, error) {
 		EngineBounds,
 		StreamingEquality,
 		ParallelVsSerial,
+		SweepVsPerConfig,
 		TraceRoundTrip,
 	} {
 		rs, err := fn(opt)

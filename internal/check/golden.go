@@ -17,6 +17,15 @@ const defaultRelTol = 1e-9
 // on the commit that introduced each value; EXPERIMENTS.md documents the
 // regeneration workflow. Update these ONLY when a PR deliberately changes
 // simulator behavior, and say so in the PR description.
+// figure34GoldenSpeedup is the recorded Figure 3 + Figure 4 speedup of the
+// single-pass sweep path over the per-configuration path at the pinned
+// scale, measured by `go run ./cmd/ibscheck -n 200000` on the commit that
+// introduced the sweep engine. RunFigureBench fails a golden-scale run whose
+// measured speedup drops below 80% of this (a >20% regression). As a ratio
+// of two same-process wall-clocks it is machine-independent to first order;
+// update it alongside deliberate sweep-engine changes.
+const figure34GoldenSpeedup = 6.3
+
 var goldens = map[string]Golden{
 	"cache/base-l1":   {CPI: 0, MPI: 0.04838},
 	"fetch/blocking":  {CPI: 0.33866, MPI: 0.04838},

@@ -36,6 +36,19 @@ type Options struct {
 	// enforce that — so Serial exists as the trusted reference executor,
 	// not as a semantic switch.
 	Serial bool
+	// Workers bounds concurrent per-workload runners. 0 (the default) means
+	// auto: one worker per GOMAXPROCS. Each worker holds one workload's
+	// trace (~16 bytes/instruction), so Workers also caps peak memory;
+	// shrink it on small machines, raise it past GOMAXPROCS to overlap
+	// generation with simulation. Ignored when Serial is set.
+	Workers int
+	// PerConfig forces Figure 1, Figure 3, and Figure 4 onto the original
+	// one-full-simulation-per-configuration path instead of the single-pass
+	// sweep engine (internal/sweep). Both paths render byte-identical
+	// output — internal/check's sweep differential enforces that — so
+	// PerConfig exists as the trusted reference executor, not as a
+	// semantic switch.
+	PerConfig bool
 }
 
 func (o Options) withDefaults() Options {
@@ -46,6 +59,22 @@ func (o Options) withDefaults() Options {
 		o.Trials = 5
 	}
 	return o
+}
+
+// workers resolves the per-workload concurrency bound: 1 when Serial,
+// Options.Workers when set, otherwise GOMAXPROCS.
+func (o Options) workers() int {
+	if o.Serial {
+		return 1
+	}
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Canonical configurations shared by the Section 5 experiments.
@@ -68,73 +97,67 @@ func ibsProfiles() []synth.Profile { return synth.IBSMach() }
 // specProfiles returns the SPEC92 representatives.
 func specProfiles() []synth.Profile { return synth.SPEC92() }
 
-// forEachTrace generates each profile's instruction-only trace once and
-// hands it to f; traces are not retained across calls, bounding memory to
-// one workload at a time.
+// forEachTrace acquires each profile's instruction-only trace from the
+// shared store and hands it to f; the reference is released after each call,
+// so live memory stays bounded to one workload at a time plus whatever the
+// store keeps warm within its idle budget.
 func forEachTrace(profiles []synth.Profile, opt Options, f func(p synth.Profile, refs []trace.Ref) error) error {
 	for _, p := range profiles {
-		refs, err := synth.InstrTrace(p, opt.Seed, opt.Instructions)
+		refs, release, err := synth.DefaultStore.Instr(p, opt.Seed, opt.Instructions)
 		if err != nil {
 			return err
 		}
-		if err := f(p, refs); err != nil {
+		err = f(p, refs)
+		release()
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// traceWorkers bounds concurrent per-workload simulations: each worker holds
-// one workload's trace in memory (~16 bytes/ref), so the bound also caps
-// memory.
-func traceWorkers() int {
-	w := runtime.GOMAXPROCS(0)
-	if w > 6 {
-		w = 6
-	}
-	if w < 1 {
-		w = 1
-	}
-	return w
-}
-
 // mapTraces runs worker over every profile's instruction trace concurrently
 // and returns per-profile results in profile order, so reductions stay
-// deterministic regardless of scheduling. With opt.Serial the profiles run
-// one at a time on the calling goroutine — the differential reference path.
+// deterministic regardless of scheduling. Traces come from the shared
+// synth.DefaultStore: every experiment in the process that needs the same
+// (workload, seed, n) stream shares one generation. With opt.Serial the
+// profiles run one at a time on the calling goroutine — the differential
+// reference path.
 func mapTraces[T any](profiles []synth.Profile, opt Options, worker func(p synth.Profile, refs []trace.Ref) (T, error)) ([]T, error) {
 	run := func(i int) (T, error) {
-		refs, err := synth.InstrTrace(profiles[i], opt.Seed, opt.Instructions)
+		refs, release, err := synth.DefaultStore.Instr(profiles[i], opt.Seed, opt.Instructions)
 		if err != nil {
 			var zero T
 			return zero, err
 		}
+		defer release()
 		return worker(profiles[i], refs)
 	}
-	return mapOrdered(len(profiles), opt.Serial, run)
+	return mapOrdered(len(profiles), opt.workers(), run)
 }
 
 // mapProfiles runs worker over profiles concurrently (bounded by
-// traceWorkers) and returns results in profile order. Unlike mapTraces, the
+// opt.workers) and returns results in profile order. Unlike mapTraces, the
 // worker generates its own reference stream — used by whole-system
 // experiments that need interleaved data references.
 func mapProfiles[T any](profiles []synth.Profile, opt Options, worker func(p synth.Profile) (T, error)) ([]T, error) {
-	return mapOrdered(len(profiles), opt.Serial, func(i int) (T, error) {
+	return mapOrdered(len(profiles), opt.workers(), func(i int) (T, error) {
 		return worker(profiles[i])
 	})
 }
 
-// mapOrdered executes run(0..n-1), serially or on traceWorkers-bounded
-// goroutines, and returns the results in index order with the first error.
-func mapOrdered[T any](n int, serial bool, run func(i int) (T, error)) ([]T, error) {
+// mapOrdered executes run(0..n-1) on at most workers goroutines (inline on
+// the caller when workers <= 1) and returns the results in index order with
+// the first error.
+func mapOrdered[T any](n, workers int, run func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
-	if serial {
+	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			results[i], errs[i] = run(i)
 		}
 	} else {
-		sem := make(chan struct{}, traceWorkers())
+		sem := make(chan struct{}, workers)
 		var wg sync.WaitGroup
 		for i := 0; i < n; i++ {
 			wg.Add(1)

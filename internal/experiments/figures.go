@@ -8,6 +8,7 @@ import (
 	"ibsim/internal/fetch"
 	"ibsim/internal/memsys"
 	"ibsim/internal/stats"
+	"ibsim/internal/sweep"
 	"ibsim/internal/synth"
 	"ibsim/internal/threec"
 	"ibsim/internal/trace"
@@ -34,16 +35,60 @@ type Figure1Result struct {
 	IBS  []Figure1Point
 }
 
-// Figure1 runs the Three-Cs decomposition for both suites.
+// figure1Sizes are the cache capacities (KB) both suites are swept over.
+func figure1Sizes() []int { return []int{8, 16, 32, 64, 128, 256} }
+
+// Figure1 runs the Three-Cs decomposition for both suites. The default path
+// computes each workload's whole capacity curve — every size's direct-mapped
+// total and 8-way capacity reference, plus the first-touch count — in ONE
+// sweep-engine pass; Options.PerConfig selects the original
+// two-simulations-per-size ClassifyApprox path. Both produce bit-identical
+// Breakdowns.
 func Figure1(opt Options) (*Figure1Result, error) {
 	opt = opt.withDefaults()
-	sizes := []int{8, 16, 32, 64, 128, 256}
+	if opt.PerConfig {
+		return figure1PerConfig(opt)
+	}
+	return figure1Sweep(opt)
+}
+
+// figure1Suites fills a Figure1Result from a per-suite point builder.
+func figure1Suites(build func(profiles []synth.Profile) ([]Figure1Point, error)) (*Figure1Result, error) {
 	res := &Figure1Result{}
-	sweep := func(profiles []synth.Profile) ([]Figure1Point, error) {
-		points := make([]Figure1Point, len(sizes))
-		for i, kb := range sizes {
-			points[i].SizeKB = kb
+	var err error
+	if res.SPEC, err = build(specProfiles()); err != nil {
+		return nil, err
+	}
+	if res.IBS, err = build(ibsProfiles()); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// figure1Accumulate reduces per-profile breakdowns (profile-major, size-minor)
+// into suite-mean points, in misses per 100 instructions.
+func figure1Accumulate(sizes []int, per [][]threec.Breakdown, nProfiles int) []Figure1Point {
+	points := make([]Figure1Point, len(sizes))
+	for i, kb := range sizes {
+		points[i].SizeKB = kb
+	}
+	n := float64(nProfiles)
+	for _, out := range per {
+		for i := range sizes {
+			points[i].Capacity += 100 * out[i].CapacityMPI() / n
+			points[i].Conflict += 100 * out[i].ConflictMPI() / n
+			points[i].Compulsory += 100 * out[i].CompulsoryMPI() / n
+			points[i].Total += 100 * out[i].MPI() / n
 		}
+	}
+	return points
+}
+
+// figure1PerConfig is the original reference path: ClassifyApprox runs its
+// own direct-mapped and 8-way simulations for every size.
+func figure1PerConfig(opt Options) (*Figure1Result, error) {
+	sizes := figure1Sizes()
+	return figure1Suites(func(profiles []synth.Profile) ([]Figure1Point, error) {
 		per, err := mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) ([]threec.Breakdown, error) {
 			out := make([]threec.Breakdown, len(sizes))
 			for i, kb := range sizes {
@@ -58,25 +103,42 @@ func Figure1(opt Options) (*Figure1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		n := float64(len(profiles))
-		for _, out := range per {
-			for i := range sizes {
-				points[i].Capacity += 100 * out[i].CapacityMPI() / n
-				points[i].Conflict += 100 * out[i].ConflictMPI() / n
-				points[i].Compulsory += 100 * out[i].CompulsoryMPI() / n
-				points[i].Total += 100 * out[i].MPI() / n
+		return figure1Accumulate(sizes, per, len(profiles)), nil
+	})
+}
+
+// figure1Sweep computes the same breakdowns from a single sweep-engine pass
+// per workload: the grid holds each size's direct-mapped cell and its 8-way
+// capacity-reference cell, and first touches come from the pass's distinct
+// count, so 2·|sizes| cache simulations collapse into one trace traversal.
+func figure1Sweep(opt Options) (*Figure1Result, error) {
+	sizes := figure1Sizes()
+	const lineSize = 32
+	return figure1Suites(func(profiles []synth.Profile) ([]Figure1Point, error) {
+		per, err := mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) ([]threec.Breakdown, error) {
+			cells := make([]sweep.Cell, 0, 2*len(sizes))
+			for _, kb := range sizes {
+				lines := kb * 1024 / lineSize
+				aref := threec.ApproxAssocRef(lines)
+				cells = append(cells,
+					sweep.Cell{Sets: lines, Assoc: 1},
+					sweep.Cell{Sets: lines / aref, Assoc: aref})
 			}
+			m, err := sweep.Pass{LineSize: lineSize, Cells: cells, CountDistinct: true}.Run(refs)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]threec.Breakdown, len(sizes))
+			for i := range sizes {
+				out[i] = threec.FromApproxCounts(m.Accesses, m.Distinct, m.Misses[2*i], m.Misses[2*i+1])
+			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		return points, nil
-	}
-	var err error
-	if res.SPEC, err = sweep(specProfiles()); err != nil {
-		return nil, err
-	}
-	if res.IBS, err = sweep(ibsProfiles()); err != nil {
-		return nil, err
-	}
-	return res, nil
+		return figure1Accumulate(sizes, per, len(profiles)), nil
+	})
 }
 
 // Render prints both series.
@@ -119,69 +181,157 @@ type Figure3Result struct {
 	EconomyBase, HighPerfBase float64
 }
 
-// Figure3 runs the sweep.
+// figure3Grid is the swept L2 geometry: sizes in KB × line sizes in bytes.
+func figure3Grid() (sizesKB, lines []int) {
+	return []int{16, 32, 64, 128, 256}, []int{8, 16, 32, 64, 128, 256}
+}
+
+// figure3Key indexes one (L2 size, L2 line size) grid cell.
+type figure3Key struct{ kb, line int }
+
+// figure3PerProfile carries one workload's contribution to every Figure 3
+// number: the grid cells (economy, high-performance CPIinstr pairs) and the
+// three baseline-L1 CPIs.
+type figure3PerProfile struct {
+	cells               map[figure3Key][2]float64
+	l1, ecoBase, hpBase float64
+}
+
+// Figure3 runs the sweep. The default path computes every workload's whole
+// size × line grid with one single-pass sweep per line size plus analytic
+// CPI reconstruction (fetch.BlockingResult); Options.PerConfig selects the
+// original one-engine-simulation-per-cell path. The two paths render
+// byte-identical output.
 func Figure3(opt Options) (*Figure3Result, error) {
 	opt = opt.withDefaults()
-	sizesKB := []int{16, 32, 64, 128, 256}
-	lines := []int{8, 16, 32, 64, 128, 256}
-	res := &Figure3Result{}
+	var per []figure3PerProfile
+	var err error
 	profiles := ibsProfiles()
-
-	l1, err := l1CPI(profiles, BaseL1(), memsys.L1L2Link(), opt)
+	if opt.PerConfig {
+		per, err = figure3PerConfig(profiles, opt)
+	} else {
+		per, err = figure3Sweep(profiles, opt)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if res.EconomyBase, err = l1CPI(profiles, BaseL1(), memsys.Economy().Memory, opt); err != nil {
-		return nil, err
-	}
-	if res.HighPerfBase, err = l1CPI(profiles, BaseL1(), memsys.HighPerformance().Memory, opt); err != nil {
-		return nil, err
-	}
+	return figure3Assemble(profiles, per), nil
+}
 
-	// L2 contribution per (size, line) per baseline memory; one trace pass
-	// per workload covering all cells, workloads in parallel.
-	type key struct{ kb, line int }
-	type cellMap map[key][2]float64
-	per, err := mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) (cellMap, error) {
-		out := cellMap{}
+// figure3Assemble reduces per-profile results (profile order) into the
+// suite-mean figure. The accumulation — one += v/n term per profile per
+// value, in profile order — is shared by both execution paths, so equal
+// per-profile CPIs guarantee equal (bitwise) figure output.
+func figure3Assemble(profiles []synth.Profile, per []figure3PerProfile) *Figure3Result {
+	sizesKB, lines := figure3Grid()
+	res := &Figure3Result{}
+	var l1 float64
+	n := float64(len(profiles))
+	for _, out := range per {
+		l1 += out.l1 / n
+		res.EconomyBase += out.ecoBase / n
+		res.HighPerfBase += out.hpBase / n
+	}
+	ecoCPI := map[figure3Key]float64{}
+	hpCPI := map[figure3Key]float64{}
+	for _, out := range per {
+		for k, v := range out.cells {
+			ecoCPI[k] += v[0] / n
+			hpCPI[k] += v[1] / n
+		}
+	}
+	for _, kb := range sizesKB {
+		for _, line := range lines {
+			k := figure3Key{kb, line}
+			res.Economy = append(res.Economy, Figure3Point{L2SizeKB: kb, L2LineSize: line, L1CPI: l1, L2CPI: ecoCPI[k]})
+			res.HighPerf = append(res.HighPerf, Figure3Point{L2SizeKB: kb, L2LineSize: line, L1CPI: l1, L2CPI: hpCPI[k]})
+		}
+	}
+	return res
+}
+
+// figure3PerConfig is the original reference path: one full blocking-engine
+// simulation per (size, line, memory) cell plus three baseline simulations,
+// workloads in parallel.
+func figure3PerConfig(profiles []synth.Profile, opt Options) ([]figure3PerProfile, error) {
+	sizesKB, lines := figure3Grid()
+	return mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) (figure3PerProfile, error) {
+		out := figure3PerProfile{cells: map[figure3Key][2]float64{}}
 		for _, kb := range sizesKB {
 			for _, line := range lines {
 				cfg := cache.Config{Size: kb * 1024, LineSize: line, Assoc: 1}
 				eco, err := fetch.NewBlocking(cfg, memsys.Economy().Memory, 0)
 				if err != nil {
-					return nil, err
+					return figure3PerProfile{}, err
 				}
 				hp, err := fetch.NewBlocking(cfg, memsys.HighPerformance().Memory, 0)
 				if err != nil {
-					return nil, err
+					return figure3PerProfile{}, err
 				}
-				out[key{kb, line}] = [2]float64{
+				out.cells[figure3Key{kb, line}] = [2]float64{
 					fetch.Run(eco, refs).CPIinstr(),
 					fetch.Run(hp, refs).CPIinstr(),
 				}
 			}
 		}
+		for _, probe := range []struct {
+			link memsys.Transfer
+			dst  *float64
+		}{
+			{memsys.L1L2Link(), &out.l1},
+			{memsys.Economy().Memory, &out.ecoBase},
+			{memsys.HighPerformance().Memory, &out.hpBase},
+		} {
+			e, err := fetch.NewBlocking(BaseL1(), probe.link, 0)
+			if err != nil {
+				return figure3PerProfile{}, err
+			}
+			*probe.dst = fetch.Run(e, refs).CPIinstr()
+		}
 		return out, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	ecoCPI := map[key]float64{}
-	hpCPI := map[key]float64{}
-	for _, out := range per {
-		for k, v := range out {
-			ecoCPI[k] += v[0] / float64(len(profiles))
-			hpCPI[k] += v[1] / float64(len(profiles))
-		}
-	}
-	for _, kb := range sizesKB {
+}
+
+// figure3Sweep computes the same per-profile numbers with one sweep-engine
+// pass per line size: the pass yields every capacity's miss count at once,
+// and fetch.BlockingResult turns each count into the exact CPIinstr a
+// blocking engine would report for any memory link — 63 engine simulations
+// per workload collapse into 6 trace traversals and integer arithmetic.
+func figure3Sweep(profiles []synth.Profile, opt Options) ([]figure3PerProfile, error) {
+	sizesKB, lines := figure3Grid()
+	base := BaseL1()
+	return mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) (figure3PerProfile, error) {
+		out := figure3PerProfile{cells: map[figure3Key][2]float64{}}
+		n := int64(len(refs))
 		for _, line := range lines {
-			k := key{kb, line}
-			res.Economy = append(res.Economy, Figure3Point{L2SizeKB: kb, L2LineSize: line, L1CPI: l1, L2CPI: ecoCPI[k]})
-			res.HighPerf = append(res.HighPerf, Figure3Point{L2SizeKB: kb, L2LineSize: line, L1CPI: l1, L2CPI: hpCPI[k]})
+			cells := make([]sweep.Cell, 0, len(sizesKB)+1)
+			for _, kb := range sizesKB {
+				cells = append(cells, sweep.Cell{Sets: kb * 1024 / line, Assoc: 1})
+			}
+			if line == base.LineSize {
+				// Ride the 8-KB baseline L1 along on this pass: the same miss
+				// count serves all three baseline links.
+				cells = append(cells, sweep.Cell{Sets: base.Size / base.LineSize, Assoc: 1})
+			}
+			m, err := sweep.Run(line, cells, refs)
+			if err != nil {
+				return figure3PerProfile{}, err
+			}
+			for i, kb := range sizesKB {
+				out.cells[figure3Key{kb, line}] = [2]float64{
+					fetch.BlockingResult(n, m.Misses[i], line, memsys.Economy().Memory).CPIinstr(),
+					fetch.BlockingResult(n, m.Misses[i], line, memsys.HighPerformance().Memory).CPIinstr(),
+				}
+			}
+			if line == base.LineSize {
+				miss := m.Misses[len(sizesKB)]
+				out.l1 = fetch.BlockingResult(n, miss, base.LineSize, memsys.L1L2Link()).CPIinstr()
+				out.ecoBase = fetch.BlockingResult(n, miss, base.LineSize, memsys.Economy().Memory).CPIinstr()
+				out.hpBase = fetch.BlockingResult(n, miss, base.LineSize, memsys.HighPerformance().Memory).CPIinstr()
+			}
 		}
-	}
-	return res, nil
+		return out, nil
+	})
 }
 
 // Render prints both panels as size × line matrices of total CPIinstr.
@@ -245,41 +395,48 @@ type Figure4Result struct {
 	HighPerf []Figure4Point
 }
 
-// Figure4 runs the associativity sweep.
+// figure4PerProfile carries one workload's contribution to Figure 4: per
+// associativity the (economy, high-performance) CPIinstr pair, plus the
+// baseline-L1 CPI.
+type figure4PerProfile struct {
+	byAssoc [][2]float64
+	l1      float64
+}
+
+// figure4Assocs are the swept L2 associativities.
+func figure4Assocs() []int { return []int{1, 2, 4, 8} }
+
+// Figure4 runs the associativity sweep. The default path resolves all four
+// associativities of the 64-KB L2 from one single-pass sweep (per-set LRU
+// stack distances settle every depth at once) plus a second tiny pass for
+// the baseline L1; Options.PerConfig selects the original
+// one-simulation-per-associativity path. Both render byte-identical output.
 func Figure4(opt Options) (*Figure4Result, error) {
 	opt = opt.withDefaults()
-	assocs := []int{1, 2, 4, 8}
-	res := &Figure4Result{}
 	profiles := ibsProfiles()
-	l1, err := l1CPI(profiles, BaseL1(), memsys.L1L2Link(), opt)
+	var per []figure4PerProfile
+	var err error
+	if opt.PerConfig {
+		per, err = figure4PerConfig(profiles, opt)
+	} else {
+		per, err = figure4Sweep(profiles, opt)
+	}
 	if err != nil {
 		return nil, err
 	}
+	assocs := figure4Assocs()
+	res := &Figure4Result{}
+	var l1 float64
 	eco := make([]float64, len(assocs))
 	hp := make([]float64, len(assocs))
-	per, err := mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) ([][2]float64, error) {
-		out := make([][2]float64, len(assocs))
-		for i, a := range assocs {
-			cfg := cache.Config{Size: 64 * 1024, LineSize: 64, Assoc: a}
-			e, err := fetch.NewBlocking(cfg, memsys.Economy().Memory, 0)
-			if err != nil {
-				return nil, err
-			}
-			h, err := fetch.NewBlocking(cfg, memsys.HighPerformance().Memory, 0)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = [2]float64{fetch.Run(e, refs).CPIinstr(), fetch.Run(h, refs).CPIinstr()}
-		}
-		return out, nil
-	})
-	if err != nil {
-		return nil, err
+	n := float64(len(profiles))
+	for _, out := range per {
+		l1 += out.l1 / n
 	}
 	for _, out := range per {
 		for i := range assocs {
-			eco[i] += out[i][0] / float64(len(profiles))
-			hp[i] += out[i][1] / float64(len(profiles))
+			eco[i] += out.byAssoc[i][0] / n
+			hp[i] += out.byAssoc[i][1] / n
 		}
 	}
 	for i, a := range assocs {
@@ -287,6 +444,66 @@ func Figure4(opt Options) (*Figure4Result, error) {
 		res.HighPerf = append(res.HighPerf, Figure4Point{Assoc: a, L1CPI: l1, L2CPI: hp[i]})
 	}
 	return res, nil
+}
+
+// figure4PerConfig is the original reference path: one blocking-engine
+// simulation per associativity per memory, plus the baseline simulation.
+func figure4PerConfig(profiles []synth.Profile, opt Options) ([]figure4PerProfile, error) {
+	assocs := figure4Assocs()
+	return mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) (figure4PerProfile, error) {
+		out := figure4PerProfile{byAssoc: make([][2]float64, len(assocs))}
+		for i, a := range assocs {
+			cfg := cache.Config{Size: 64 * 1024, LineSize: 64, Assoc: a}
+			e, err := fetch.NewBlocking(cfg, memsys.Economy().Memory, 0)
+			if err != nil {
+				return figure4PerProfile{}, err
+			}
+			h, err := fetch.NewBlocking(cfg, memsys.HighPerformance().Memory, 0)
+			if err != nil {
+				return figure4PerProfile{}, err
+			}
+			out.byAssoc[i] = [2]float64{fetch.Run(e, refs).CPIinstr(), fetch.Run(h, refs).CPIinstr()}
+		}
+		e, err := fetch.NewBlocking(BaseL1(), memsys.L1L2Link(), 0)
+		if err != nil {
+			return figure4PerProfile{}, err
+		}
+		out.l1 = fetch.Run(e, refs).CPIinstr()
+		return out, nil
+	})
+}
+
+// figure4Sweep computes the same numbers from two sweep passes per workload:
+// a 64-byte-line pass whose grid holds the 64-KB capacity at every
+// associativity, and a 32-byte-line pass for the baseline L1.
+func figure4Sweep(profiles []synth.Profile, opt Options) ([]figure4PerProfile, error) {
+	assocs := figure4Assocs()
+	base := BaseL1()
+	return mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) (figure4PerProfile, error) {
+		out := figure4PerProfile{byAssoc: make([][2]float64, len(assocs))}
+		n := int64(len(refs))
+		const l2Size, l2Line = 64 * 1024, 64
+		cells := make([]sweep.Cell, len(assocs))
+		for i, a := range assocs {
+			cells[i] = sweep.Cell{Sets: l2Size / l2Line / a, Assoc: a}
+		}
+		m, err := sweep.Run(l2Line, cells, refs)
+		if err != nil {
+			return figure4PerProfile{}, err
+		}
+		for i := range assocs {
+			out.byAssoc[i] = [2]float64{
+				fetch.BlockingResult(n, m.Misses[i], l2Line, memsys.Economy().Memory).CPIinstr(),
+				fetch.BlockingResult(n, m.Misses[i], l2Line, memsys.HighPerformance().Memory).CPIinstr(),
+			}
+		}
+		mb, err := sweep.Run(base.LineSize, []sweep.Cell{{Sets: base.Size / base.LineSize, Assoc: 1}}, refs)
+		if err != nil {
+			return figure4PerProfile{}, err
+		}
+		out.l1 = fetch.BlockingResult(n, mb.Misses[0], base.LineSize, memsys.L1L2Link()).CPIinstr()
+		return out, nil
+	})
 }
 
 // Render prints both panels.

@@ -84,6 +84,22 @@ func RunSource(e Engine, src trace.Source) (Result, error) {
 	}
 }
 
+// BlockingResult reconstructs, analytically, the Result a prefetch-free
+// Blocking engine produces from its miss count alone: with no prefetching
+// every miss stalls the processor for exactly one full line fill, so
+// StallCycles = Misses × link.FillCycles(lineSize) and no per-reference
+// simulation is needed. The sweep engine (internal/sweep) uses this to turn
+// a one-pass miss matrix into the CPIinstr of every grid cell; the
+// equivalence with fetch.Run over a NewBlocking engine is pinned by tests
+// and by internal/check's sweep differential.
+func BlockingResult(instructions, misses int64, lineSize int, link memsys.Transfer) Result {
+	return Result{
+		Instructions: instructions,
+		Misses:       misses,
+		StallCycles:  misses * int64(link.FillCycles(lineSize)),
+	}
+}
+
 // Blocking is the baseline engine: on an L1 miss the processor stalls until
 // the missing line — and all prefetched lines, if sequential
 // prefetch-on-miss is enabled — have been written into the cache (Table 6's

@@ -5,6 +5,7 @@ import (
 
 	"ibsim/internal/cache"
 	"ibsim/internal/memsys"
+	"ibsim/internal/synth"
 	"ibsim/internal/trace"
 )
 
@@ -283,5 +284,38 @@ func TestConstructorsRejectBadConfig(t *testing.T) {
 	}
 	if _, err := NewStream(cache.Config{Size: 7, LineSize: 16, Assoc: 1}, l2link, 1); err == nil {
 		t.Error("NewStream accepted bad cache")
+	}
+}
+
+func TestBlockingResultMatchesSimulation(t *testing.T) {
+	p, err := synth.Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := synth.InstrTrace(p, 0, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		cfg  cache.Config
+		link memsys.Transfer
+	}{
+		{cache.Config{Size: 8192, LineSize: 32, Assoc: 1}, memsys.Economy().Memory},
+		{cache.Config{Size: 65536, LineSize: 64, Assoc: 1}, memsys.Economy().Memory},
+		{cache.Config{Size: 65536, LineSize: 64, Assoc: 4}, memsys.HighPerformance().Memory},
+		{cache.Config{Size: 32768, LineSize: 128, Assoc: 2}, memsys.L1L2Link()},
+	} {
+		e, err := NewBlocking(tc.cfg, tc.link, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Run(e, refs)
+		got := BlockingResult(want.Instructions, want.Misses, tc.cfg.LineSize, tc.link)
+		if got != want {
+			t.Errorf("%+v over %+v: analytic %+v != simulated %+v", tc.cfg, tc.link, got, want)
+		}
+		if got.CPIinstr() != want.CPIinstr() {
+			t.Errorf("%+v: CPIinstr mismatch %v != %v", tc.cfg, got.CPIinstr(), want.CPIinstr())
+		}
 	}
 }

@@ -1,0 +1,179 @@
+package synth
+
+import (
+	"sync"
+
+	"ibsim/internal/trace"
+)
+
+// DefaultIdleBudget bounds the bytes the default Store keeps alive for
+// traces no caller currently holds: roughly two full experiment suites at
+// the default 2M-instruction scale.
+const DefaultIdleBudget = 1 << 30
+
+// DefaultStore is the process-wide trace store shared by the experiment
+// suite, the verification harness, and the CLIs, so each (workload, seed, n)
+// trace is generated once per process instead of once per experiment.
+var DefaultStore = NewStore(DefaultIdleBudget)
+
+// storeKey identifies one materialized instruction trace. The full Profile
+// value (comparable: scalars and fixed-size arrays only) participates so
+// same-named variants — e.g. the Mach and Ultrix builds of an IBS workload,
+// or a caller-tweaked profile — never alias each other's traces.
+type storeKey struct {
+	prof Profile
+	seed uint64
+	n    int64
+}
+
+// storeEntry is one memoized trace with its reference count.
+type storeEntry struct {
+	ready chan struct{} // closed once refs/err are set
+	refs  []trace.Ref
+	err   error
+
+	refcount int
+	lastUse  int64 // store tick of the most recent acquire/release
+}
+
+// Stats reports store activity; Idle is the byte count held only by the
+// memoization cache (no outstanding handle).
+type Stats struct {
+	Hits, Misses, Evictions int64
+	IdleBytes               int64
+	Entries                 int
+}
+
+// Store memoizes materialized instruction traces keyed by
+// (profile, seed, instruction count). Entries are ref-counted:
+// Instr returns the trace together with a release function, and a released
+// entry stays cached — up to the idle-byte budget, evicting least-recently
+// used idle entries beyond it — so sequential experiments over the same
+// suite reuse each other's generation work.
+//
+// The returned slice is shared by every holder of the same key and MUST be
+// treated as read-only.
+type Store struct {
+	mu         sync.Mutex
+	entries    map[storeKey]*storeEntry
+	idleBudget int64
+	idleBytes  int64
+	tick       int64
+	stats      Stats
+}
+
+// NewStore returns an empty store keeping at most idleBudget bytes of
+// unreferenced traces cached (0 caches nothing once released).
+func NewStore(idleBudget int64) *Store {
+	return &Store{entries: make(map[storeKey]*storeEntry), idleBudget: idleBudget}
+}
+
+// refBytes is the retained size of one trace.Ref (16 bytes with padding).
+const refBytes = 16
+
+// Instr returns prof's instruction-only trace for (seed, n) — the same
+// stream InstrTrace generates — memoized across callers. The release
+// function must be called exactly once when the caller is done with the
+// slice; it is safe to call from any goroutine. Concurrent acquires of the
+// same key share one generation.
+func (s *Store) Instr(prof Profile, seed uint64, n int64) ([]trace.Ref, func(), error) {
+	key := storeKey{prof: prof, seed: seed, n: n}
+	// InstrTrace zeroes the data profile, so profiles differing only there
+	// yield the same instruction stream — normalize to share the entry.
+	key.prof.Data = DataProfile{}
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.stats.Hits++
+		if e.refcount == 0 {
+			// Leaving the idle cache: its bytes are accounted to the holder.
+			s.idleBytes -= int64(len(e.refs)) * refBytes
+		}
+		e.refcount++
+		s.tick++
+		e.lastUse = s.tick
+		s.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			s.release(key, e)
+			return nil, nil, e.err
+		}
+		return e.refs, s.releaseOnce(key, e), nil
+	}
+	s.stats.Misses++
+	e = &storeEntry{ready: make(chan struct{}), refcount: 1}
+	s.tick++
+	e.lastUse = s.tick
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	e.refs, e.err = InstrTrace(prof, seed, n)
+	close(e.ready)
+	if e.err != nil {
+		s.release(key, e)
+		return nil, nil, e.err
+	}
+	return e.refs, s.releaseOnce(key, e), nil
+}
+
+// releaseOnce wraps release so double-calling a handle's release is a no-op.
+func (s *Store) releaseOnce(key storeKey, e *storeEntry) func() {
+	var once sync.Once
+	return func() { once.Do(func() { s.release(key, e) }) }
+}
+
+// release drops one reference; the last holder moves the entry into the
+// idle cache (or out of the store entirely when over budget or failed).
+func (s *Store) release(key storeKey, e *storeEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.refcount--
+	if e.refcount > 0 {
+		return
+	}
+	if e.err != nil {
+		// A failed generation may already have been replaced by a fresh
+		// attempt under the same key; only remove this entry.
+		if cur, ok := s.entries[key]; ok && cur == e {
+			delete(s.entries, key)
+		}
+		return
+	}
+	s.tick++
+	e.lastUse = s.tick
+	s.idleBytes += int64(len(e.refs)) * refBytes
+	s.evictLocked()
+}
+
+// evictLocked removes least-recently-used idle entries until the idle bytes
+// fit the budget.
+func (s *Store) evictLocked() {
+	for s.idleBytes > s.idleBudget {
+		var victimKey storeKey
+		var victim *storeEntry
+		for k, e := range s.entries {
+			if e.refcount != 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.idleBytes -= int64(len(victim.refs)) * refBytes
+		delete(s.entries, victimKey)
+		s.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.IdleBytes = s.idleBytes
+	st.Entries = len(s.entries)
+	return st
+}

@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"sync"
+	"testing"
+
+	"ibsim/internal/trace"
+)
+
+func TestStoreMemoizesAndMatchesInstrTrace(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultIdleBudget)
+	want, err := InstrTrace(p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, release, err := s.Instr(p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != len(want) {
+		t.Fatalf("store trace has %d refs, InstrTrace %d", len(refs), len(want))
+	}
+	for i := range refs {
+		if refs[i] != want[i] {
+			t.Fatalf("ref %d: store %v != InstrTrace %v", i, refs[i], want[i])
+		}
+	}
+	again, release2, err := s.Instr(p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &refs[0] {
+		t.Fatal("second acquire did not return the memoized slice")
+	}
+	release()
+	release2()
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.IdleBytes != int64(len(refs))*refBytes {
+		t.Fatalf("idle bytes %d, want %d", st.IdleBytes, int64(len(refs))*refBytes)
+	}
+	// A released entry must still be served from cache.
+	_, release3, err := s.Instr(p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release3()
+	if got := s.Stats().Hits; got != 2 {
+		t.Fatalf("hits after re-acquire = %d, want 2", got)
+	}
+}
+
+func TestStoreDistinguishesKeys(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Lookup("sdet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultIdleBudget)
+	for _, k := range []struct {
+		prof Profile
+		seed uint64
+		n    int64
+	}{{p, 0, 1000}, {p, 1, 1000}, {p, 0, 2000}, {q, 0, 1000}} {
+		_, release, err := s.Instr(k.prof, k.seed, k.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	st := s.Stats()
+	if st.Misses != 4 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want 4 distinct generations", st)
+	}
+}
+
+func TestStoreEvictsIdleBeyondBudget(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits one 1000-ref trace but not two.
+	s := NewStore(1500 * refBytes)
+	_, r1, err := s.Instr(p, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	_, r2, err := s.Instr(p, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2() // seed-1 entry is older → evicted
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 eviction leaving 1 entry", st)
+	}
+	// Held entries are never evicted, no matter the budget.
+	tiny := NewStore(0)
+	refs, hold, err := tiny.Instr(p, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1000 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	if tiny.Stats().Entries != 1 {
+		t.Fatal("held entry missing from store")
+	}
+	hold()
+	if tiny.Stats().Entries != 0 {
+		t.Fatal("zero-budget store kept a released entry")
+	}
+	// Double release is a no-op.
+	hold()
+}
+
+func TestStoreConcurrentAcquireSharesOneGeneration(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultIdleBudget)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	firsts := make([]*trace.Ref, goroutines)
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			refs, release, err := s.Instr(p, 0, 20000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			firsts[i] = &refs[0]
+			release()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if firsts[i] != firsts[0] {
+			t.Fatalf("goroutine %d got a different backing array", i)
+		}
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 generation", st)
+	}
+}

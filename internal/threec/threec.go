@@ -87,9 +87,27 @@ func ClassifyApprox(size, lineSize int, src trace.Source) (Breakdown, error) {
 	if err := src.Err(); err != nil {
 		return b, err
 	}
-	dmMiss := dm.Stats().Misses
-	saMiss := sa.Stats().Misses
-	b.Total = dmMiss
+	return FromApproxCounts(b.Accesses, b.Compulsory, dm.Stats().Misses, sa.Stats().Misses), nil
+}
+
+// ApproxAssocRef returns the set associativity of the paper's capacity
+// reference cache for a geometry with the given line count: 8-way, or fully
+// associative when the cache holds fewer than 8 lines.
+func ApproxAssocRef(lines int) int {
+	if lines < 8 {
+		return lines
+	}
+	return 8
+}
+
+// FromApproxCounts assembles the paper's approximation Breakdown from
+// already-simulated counts: total accesses, compulsory (first-touch) misses,
+// the direct-mapped cache's misses, and the set-associative reference
+// cache's misses. It applies the same clamping and re-balancing as
+// ClassifyApprox, so a miss matrix computed by the single-pass sweep engine
+// yields bit-identical Breakdowns to the two-simulation path.
+func FromApproxCounts(accesses, compulsory, dmMiss, saMiss int64) Breakdown {
+	b := Breakdown{Accesses: accesses, Compulsory: compulsory, Total: dmMiss}
 	b.Conflict = dmMiss - saMiss
 	if b.Conflict < 0 {
 		// 8-way LRU can occasionally miss where DM hits; clamp as the paper
@@ -111,7 +129,7 @@ func ClassifyApprox(size, lineSize int, src trace.Source) (Breakdown, error) {
 			}
 		}
 	}
-	return b, nil
+	return b
 }
 
 func shiftFor(v int) uint {
