@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check bench microbench vet cover tables extensions calibration examples clean
+.PHONY: all build test test-short race check chaos bench microbench vet cover tables extensions calibration examples clean
 
 all: build vet test race check
 
@@ -27,8 +27,17 @@ race:
 # Simulator verification + benchmark regression: invariant checks,
 # differential tests, and the pinned golden comparison. Writes
 # BENCH_ibsim.json.
-check:
+check: vet
 	$(GO) run ./cmd/ibscheck -n 200000
+
+# Seeded fault-injection (chaos) suite under the race detector: trace-codec
+# corruption contracts, store budget fallback, worker panic isolation, and
+# the ibstables interrupt/resume test.
+chaos:
+	$(GO) test -race ./internal/fault ./internal/atomicio ./internal/manifest
+	$(GO) test -race -run 'Chaos|Robustness|Resilience|Worker|Salvage|Interrupt|Timeout' \
+		./internal/trace ./internal/check ./internal/experiments ./cmd/ibstables
+	$(GO) run -race ./cmd/ibscheck -faults -o ""
 
 # Benchmark-regression run: times the pinned stages plus the Figure 3+4
 # sweep-vs-per-config comparison at the golden scale, records wall-clock

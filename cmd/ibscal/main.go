@@ -41,17 +41,17 @@ func main() {
 // runCPI prints the DECstation 3100 component calibration against Tables 1
 // and 3.
 func runCPI(n int64) error {
-	sim := func(p synth.Profile) (cpi.Components, float64) {
+	sim := func(p synth.Profile) (cpi.Components, float64, error) {
 		g, err := synth.NewGenerator(p, 0)
 		if err != nil {
-			panic(err)
+			return cpi.Components{}, 0, fmt.Errorf("generator for %s: %w", p.Name, err)
 		}
 		s := cpi.NewSystem()
 		for s.Instructions() < n {
 			r, _ := g.Next()
 			s.Process(r)
 		}
-		return s.Components(), s.UserShare()
+		return s.Components(), s.UserShare(), nil
 	}
 	fmt.Println("\n== Table 1: SPEC suites on DECstation 3100 ==")
 	targets := map[string][5]float64{ // total, instr, data, tlb, write
@@ -62,7 +62,10 @@ func runCPI(n int64) error {
 	}
 	fmt.Printf("%-10s %26s %26s\n", "suite", "target(tot/i/d/tlb/w)", "got(tot/i/d/tlb/w)")
 	for _, p := range synth.SPECSuites() {
-		c, _ := sim(p)
+		c, _, err := sim(p)
+		if err != nil {
+			return err
+		}
 		t := targets[p.Name]
 		fmt.Printf("%-10s %5.2f/%.3f/%.3f/%.3f/%.3f %5.2f/%.3f/%.3f/%.3f/%.3f\n",
 			p.Name, t[0], t[1], t[2], t[3], t[4],
@@ -72,7 +75,10 @@ func runCPI(n int64) error {
 	var mach, ultrix cpi.Components
 	var muser, uuser float64
 	for _, p := range synth.IBSMach() {
-		c, u := sim(p)
+		c, u, err := sim(p)
+		if err != nil {
+			return err
+		}
 		mach.Instr += c.Instr / 8
 		mach.Data += c.Data / 8
 		mach.Write += c.Write / 8
@@ -80,7 +86,10 @@ func runCPI(n int64) error {
 		muser += u / 8
 	}
 	for _, p := range synth.IBSUltrix() {
-		c, u := sim(p)
+		c, u, err := sim(p)
+		if err != nil {
+			return err
+		}
 		ultrix.Instr += c.Instr / 8
 		ultrix.Data += c.Data / 8
 		ultrix.Write += c.Write / 8

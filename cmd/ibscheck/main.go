@@ -9,6 +9,7 @@
 //	ibscheck -n 1000000            # larger run (golden comparison skipped)
 //	ibscheck -o perf/BENCH.json    # report path (default BENCH_ibsim.json)
 //	ibscheck -print-golden         # emit the golden.go literal for this run
+//	ibscheck -faults               # chaos mode: seeded fault-injection suite
 //
 // The exit status is 0 only when every check passes and every tracked stage
 // is within golden tolerance.
@@ -23,6 +24,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"ibsim/internal/atomicio"
 	"ibsim/internal/check"
 )
 
@@ -37,6 +39,7 @@ func run(args []string) int {
 	out := fs.String("o", "BENCH_ibsim.json", "report output path (empty disables)")
 	printGolden := fs.Bool("print-golden", false, "print the golden.go literal for this run's stage values and exit")
 	benchOnly := fs.Bool("bench-only", false, "skip invariant/differential checks, run only the bench stages")
+	faults := fs.Bool("faults", false, "run only the seeded fault-injection (chaos) suite")
 	noFigures := fs.Bool("no-figures", false, "skip the Figure 3+4 sweep-vs-per-config benchmark")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -74,6 +77,35 @@ func run(args []string) int {
 
 	opt := check.Options{Instructions: *n, Seed: *seed}
 	start := time.Now()
+
+	if *faults {
+		results, err := check.RunChaos(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: harness failure: %v\n", err)
+			return 2
+		}
+		for _, r := range results {
+			fmt.Printf("%-4s %-42s %s (%.2fs)\n", verdict(r.Passed), r.Name, r.Detail, r.Seconds)
+		}
+		report := check.Report{
+			Schema:       "ibsim-bench/v1",
+			Instructions: *n,
+			Seed:         *seed,
+			Checks:       results,
+			Passed:       check.AllPassed(results),
+			TotalSeconds: time.Since(start).Seconds(),
+		}
+		if err := writeReport(*out, report); err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+			return 2
+		}
+		if !report.Passed {
+			fmt.Println("FAIL")
+			return 1
+		}
+		fmt.Printf("PASS (%d fault scenarios, %.2fs)\n", len(results), report.TotalSeconds)
+		return 0
+	}
 
 	var results []check.Result
 	if !*benchOnly && !*printGolden {
@@ -126,17 +158,9 @@ func run(args []string) int {
 		Passed:       check.AllPassed(results) && stagesOK,
 		TotalSeconds: time.Since(start).Seconds(),
 	}
-	if *out != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ibscheck: marshaling report: %v\n", err)
-			return 2
-		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "ibscheck: writing %s: %v\n", *out, err)
-			return 2
-		}
-		fmt.Printf("report: %s\n", *out)
+	if err := writeReport(*out, report); err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+		return 2
 	}
 	if !report.Passed {
 		fmt.Println("FAIL")
@@ -144,6 +168,24 @@ func run(args []string) int {
 	}
 	fmt.Printf("PASS (%d checks, %d stages, %.2fs)\n", len(results), len(stages), report.TotalSeconds)
 	return 0
+}
+
+// writeReport marshals and atomically writes the report (path "" disables),
+// so an interrupted run never leaves a half-written or corrupt report where
+// CI would read one.
+func writeReport(path string, report check.Report) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshaling report: %w", err)
+	}
+	if err := atomicio.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	fmt.Printf("report: %s\n", path)
+	return nil
 }
 
 func verdict(ok bool) string {

@@ -78,9 +78,14 @@ func generate(w ibsim.Workload, n int64, path string) error {
 }
 
 func printInfo(path string) error {
-	refs, err := ibsim.ReadTraceFile(path)
-	if err != nil {
-		return err
+	refs, complete, err := ibsim.SalvageTraceFile(path)
+	if !complete {
+		if len(refs) == 0 {
+			return err
+		}
+		// Damaged but salvageable: summarize the valid prefix, loudly.
+		fmt.Fprintf(os.Stderr, "ibsgen: WARNING: %s is damaged (%v); summarizing the salvaged %d-reference prefix\n",
+			path, err, len(refs))
 	}
 	var kinds [3]int64
 	var domains [4]int64

@@ -44,6 +44,11 @@ func main() {
 		return
 	}
 
+	if *n <= 0 {
+		fmt.Fprintf(os.Stderr, "ibsim: -n %d: instruction count must be positive\n", *n)
+		os.Exit(2)
+	}
+
 	w, err := ibsim.LoadWorkload(*workload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ibsim:", err)

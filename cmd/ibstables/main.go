@@ -4,22 +4,36 @@
 //
 //	ibstables                         # everything
 //	ibstables -experiment table4      # one exhibit
+//	ibstables -experiment table1,figure3
 //	ibstables -n 4000000 -trials 5    # scale the simulation
+//	ibstables -manifest run/ -o all.txt
 //
 // Experiments: table1 table2 table3 table4 table5 table6 table7 table8
 // figure1 figure2 figure3 figure4 figure5 figure6 figure7 all
+//
+// The run is resilient: SIGINT/SIGTERM cancels in-flight workers and exits
+// 130, a failing or timed-out exhibit is reported and skipped instead of
+// aborting the rest, and with -manifest every completed exhibit is
+// checkpointed atomically so an interrupted run resumes where it stopped
+// and produces byte-identical final output.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"ibsim"
+	"ibsim/internal/atomicio"
+	"ibsim/internal/manifest"
 )
 
 // renderer produces one exhibit's text.
@@ -270,7 +284,7 @@ func main() {
 
 // run carries main's body so profile-writing defers fire before exit.
 func run() int {
-	which := flag.String("experiment", "all", "which exhibit to regenerate (table1..table8, figure1..figure7, extension names, all)")
+	which := flag.String("experiment", "all", "comma-separated exhibits to regenerate (table1..table8, figure1..figure7, extension names, all)")
 	ext := flag.Bool("extensions", false, "also run the beyond-the-paper extension/ablation studies")
 	n := flag.Int64("n", 2_000_000, "instructions simulated per workload")
 	trials := flag.Int("trials", 5, "trials for variability experiments (figure5)")
@@ -279,7 +293,13 @@ func run() int {
 	chart := flag.Bool("chart", false, "render figure1/figure7 as ASCII stacked-bar charts (as in the paper)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	manifestDir := flag.String("manifest", "", "checkpoint directory: completed exhibits persist there and an interrupted run resumes from it")
+	outFile := flag.String("o", "", "also write the concatenated exhibit outputs to this file (atomically, on full success)")
+	timeout := flag.Duration("timeout", 0, "per-exhibit wall-clock budget (0 = unlimited)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -325,34 +345,123 @@ func run() int {
 		}
 	}
 
-	opt := ibsim.Options{Instructions: *n, Trials: *trials}
+	opt := ibsim.Options{Instructions: *n, Trials: *trials, Timeout: *timeout}
 	names := exhibitOrder
 	if *ext {
 		names = append(append([]string{}, exhibitOrder...), extensionOrder...)
 	}
 	if *which != "all" {
-		name := strings.ToLower(*which)
-		if _, ok := exhibits[name]; !ok {
-			fmt.Fprintf(os.Stderr, "ibstables: unknown experiment %q (have %s; %s; all)\n",
-				*which, strings.Join(exhibitOrder, ", "), strings.Join(extensionOrder, ", "))
+		names = nil
+		for _, raw := range strings.Split(*which, ",") {
+			name := strings.ToLower(strings.TrimSpace(raw))
+			if name == "" {
+				continue
+			}
+			if _, ok := exhibits[name]; !ok {
+				fmt.Fprintf(os.Stderr, "ibstables: unknown experiment %q (have %s; %s; all)\n",
+					raw, strings.Join(exhibitOrder, ", "), strings.Join(extensionOrder, ", "))
+				return 2
+			}
+			names = append(names, name)
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(os.Stderr, "ibstables: -experiment names no exhibit")
 			return 2
 		}
-		names = []string{name}
 	}
-	for _, name := range names {
-		start := time.Now()
-		out, err := exhibits[name](opt)
+
+	var man *manifest.Manifest
+	if *manifestDir != "" {
+		var resumed int
+		var err error
+		man, resumed, err = manifest.Open(*manifestDir, manifest.Params{
+			Instructions: *n, Trials: *trials, CSV: *csv, Chart: *chart,
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ibstables: %s: %v\n", name, err)
-			return 1
+			fmt.Fprintf(os.Stderr, "ibstables: -manifest: %v\n", err)
+			return 2
+		}
+		if resumed > 0 {
+			fmt.Fprintf(os.Stderr, "ibstables: resuming: %d exhibit(s) already complete in %s\n", resumed, *manifestDir)
+		}
+	}
+
+	var outputs []string
+	var failed []string
+	for _, name := range names {
+		if ctx.Err() != nil {
+			return interrupted(name, man != nil)
+		}
+		if man != nil {
+			if out, ok := man.Get(name); ok {
+				outputs = append(outputs, out)
+				fmt.Println(out)
+				if !*quiet {
+					fmt.Printf("[%s restored from manifest]\n\n", name)
+				}
+				continue
+			}
+		}
+		start := time.Now()
+		ectx := ctx
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ectx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		eopt := opt
+		eopt.Context = ectx
+		out, err := exhibits[name](eopt)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return interrupted(name, man != nil)
+			}
+			// One bad exhibit — a worker panic, a timeout, a bad config —
+			// fails that exhibit only; the rest of the run proceeds.
+			reason := "failed"
+			if errors.Is(err, context.DeadlineExceeded) {
+				reason = fmt.Sprintf("exceeded its %v budget", *timeout)
+			}
+			fmt.Fprintf(os.Stderr, "ibstables: %s %s: %v (continuing)\n", name, reason, err)
+			failed = append(failed, name)
+			continue
 		}
 		if *csv {
 			out = toCSV(out)
 		}
+		if man != nil {
+			if err := man.Put(name, out); err != nil {
+				fmt.Fprintf(os.Stderr, "ibstables: checkpointing %s: %v\n", name, err)
+				return 1
+			}
+		}
+		outputs = append(outputs, out)
 		fmt.Println(out)
 		if !*quiet {
 			fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
 		}
 	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "ibstables: %d exhibit(s) failed: %s\n", len(failed), strings.Join(failed, ", "))
+		return 1
+	}
+	if *outFile != "" {
+		data := []byte(strings.Join(outputs, "\n") + "\n")
+		if err := atomicio.WriteFile(*outFile, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ibstables: -o: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// interrupted reports a SIGINT/SIGTERM shutdown and returns the
+// conventional 128+SIGINT exit code.
+func interrupted(name string, hasManifest bool) int {
+	msg := fmt.Sprintf("ibstables: interrupted during %s", name)
+	if hasManifest {
+		msg += "; completed exhibits are checkpointed — rerun with the same -manifest to resume"
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	return 130
 }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain lets the test binary impersonate the real CLI: re-exec'd with
+// IBSTABLES_BE_MAIN=1 it runs main() instead of the tests, so the
+// interrupt/resume tests exercise the genuine signal handling and exit
+// codes without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("IBSTABLES_BE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// selfCmd builds a re-exec'd ibstables invocation.
+func selfCmd(t *testing.T, args ...string) *exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "IBSTABLES_BE_MAIN=1")
+	return cmd
+}
+
+// exitCode extracts the exit status from Run/Wait's error.
+func exitCode(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !isExitError(err, &ee) {
+		t.Fatalf("process failed without exit status: %v", err)
+	}
+	return ee.ExitCode()
+}
+
+func isExitError(err error, out **exec.ExitError) bool {
+	ee, ok := err.(*exec.ExitError)
+	if ok {
+		*out = ee
+	}
+	return ok
+}
+
+// A SIGINT mid-run exits 130 promptly with the completed exhibits
+// checkpointed, and rerunning with the same manifest resumes to a final
+// output byte-identical to an uninterrupted run.
+func TestInterruptThenResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns multi-second child runs")
+	}
+	dir := t.TempDir()
+	manifestDir := filepath.Join(dir, "run")
+	resumedOut := filepath.Join(dir, "resumed.txt")
+	args := []string{
+		"-experiment", "table4,figure5,table3", "-n", "150000", "-trials", "2",
+		"-manifest", manifestDir, "-o", resumedOut, "-q",
+	}
+
+	// Launch, wait for the first checkpoint, interrupt.
+	cmd := selfCmd(t, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	cmd.Stdout = new(bytes.Buffer)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	first := filepath.Join(manifestDir, "table4.out")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(first); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint appeared; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	var werr error
+	select {
+	case werr = <-waited:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("interrupted run did not shut down")
+	}
+	if code := exitCode(t, werr); code != 130 {
+		t.Fatalf("interrupted run exited %d, want 130; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Fatalf("interrupt not reported; stderr:\n%s", stderr.String())
+	}
+	if _, err := os.Stat(resumedOut); err == nil {
+		t.Fatal("interrupted run wrote the -o file")
+	}
+
+	// Resume to completion.
+	resume := selfCmd(t, args...)
+	var resumeErr bytes.Buffer
+	resume.Stderr = &resumeErr
+	resume.Stdout = new(bytes.Buffer)
+	if err := resume.Run(); err != nil {
+		t.Fatalf("resumed run failed: %v; stderr:\n%s", err, resumeErr.String())
+	}
+	if !strings.Contains(resumeErr.String(), "resuming") {
+		t.Fatalf("resume did not pick up checkpoints; stderr:\n%s", resumeErr.String())
+	}
+
+	// A fresh, uninterrupted run must produce byte-identical output.
+	freshOut := filepath.Join(dir, "fresh.txt")
+	fresh := selfCmd(t, "-experiment", "table4,figure5,table3", "-n", "150000", "-trials", "2",
+		"-manifest", filepath.Join(dir, "fresh-run"), "-o", freshOut, "-q")
+	fresh.Stdout, fresh.Stderr = new(bytes.Buffer), new(bytes.Buffer)
+	if err := fresh.Run(); err != nil {
+		t.Fatalf("fresh run failed: %v", err)
+	}
+	got, err := os.ReadFile(resumedOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(freshOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed output differs from uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// A per-exhibit timeout fails that exhibit (exit 1, reported) without
+// aborting the process wholesale.
+func TestPerExhibitTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child run")
+	}
+	cmd := selfCmd(t, "-experiment", "table4,table2", "-n", "2000000", "-timeout", "1ms", "-q")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	cmd.Stdout = new(bytes.Buffer)
+	err := cmd.Run()
+	if code := exitCode(t, err); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	// table4 blew its budget; descriptive table2 still completed.
+	if !strings.Contains(stderr.String(), "table4 exceeded its 1ms budget") {
+		t.Fatalf("timeout not attributed; stderr:\n%s", stderr.String())
+	}
+	if strings.Contains(stderr.String(), "table2") {
+		t.Fatalf("descriptive exhibit dragged into the failure; stderr:\n%s", stderr.String())
+	}
+}

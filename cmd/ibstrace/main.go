@@ -31,9 +31,14 @@ func main() {
 
 	switch {
 	case *file != "":
-		refs, err := ibsim.ReadTraceFile(*file)
-		if err != nil {
-			fail(err)
+		refs, complete, err := ibsim.SalvageTraceFile(*file)
+		if !complete {
+			if len(refs) == 0 {
+				fail(err)
+			}
+			// Damaged but salvageable: analyze the valid prefix, loudly.
+			fmt.Fprintf(os.Stderr, "ibstrace: WARNING: %s is damaged (%v); analyzing the salvaged %d-reference prefix\n",
+				*file, err, len(refs))
 		}
 		a, err := ibsim.AnalyzeLocality(refs, *line)
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"ibsim/internal/atomicio"
 	"ibsim/internal/cache"
 	"ibsim/internal/cpi"
 	"ibsim/internal/experiments"
@@ -204,22 +205,23 @@ func SimulateSystem(w Workload, n int64) (CPIComponents, float64, error) {
 }
 
 // WriteTraceFile generates n instructions of w (with data references) and
-// writes them to path in the IBSTRACE binary format.
+// writes them to path in the IBSTRACE binary format. The write is atomic
+// (temp file, fsync, rename): path either keeps its previous content or
+// holds the complete new trace, never a torn one.
 func WriteTraceFile(path string, w Workload, n int64) (written uint64, err error) {
 	refs, err := synth.Trace(w, 0, n)
 	if err != nil {
 		return 0, err
 	}
-	f, err := os.Create(path)
+	err = atomicio.WriteTo(path, 0o644, func(f *os.File) error {
+		var werr error
+		written, werr = trace.EncodeSeeker(f, trace.NewSliceSource(refs))
+		return werr
+	})
 	if err != nil {
-		return 0, fmt.Errorf("ibsim: creating trace file: %w", err)
+		return 0, fmt.Errorf("ibsim: writing trace file: %w", err)
 	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return trace.EncodeSeeker(f, trace.NewSliceSource(refs))
+	return written, nil
 }
 
 // ReadTraceFile loads an IBSTRACE file into memory.
@@ -230,6 +232,20 @@ func ReadTraceFile(path string) ([]Ref, error) {
 	}
 	defer f.Close()
 	return trace.Decode(f)
+}
+
+// SalvageTraceFile loads as much of a (possibly truncated or corrupted)
+// IBSTRACE file as can be validated: the decoded prefix, a flag reporting
+// whether the file was complete, and — when it was not — the typed error
+// that ended the decode. A partial result is explicit, never silent: callers
+// must check complete before treating the refs as the whole trace.
+func SalvageTraceFile(path string) (refs []Ref, complete bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("ibsim: opening trace file: %w", err)
+	}
+	defer f.Close()
+	return trace.DecodeSalvage(f)
 }
 
 // ReplayCache replays an already generated (or loaded) reference stream

@@ -1,0 +1,70 @@
+// Package atomicio provides crash-safe file writes: content lands in a
+// temporary file in the destination directory, is flushed to stable storage,
+// and is renamed into place. A reader therefore observes either the old file
+// or the complete new one — never a torn intermediate — and an interrupt
+// (SIGINT mid-run, a crash, a full disk) can at worst leave a stray .tmp
+// file, not a corrupt artifact. The run-manifest checkpoints, the rendered
+// exhibit outputs, and generated trace files all go through this package.
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with data: write-temp, fsync, rename.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	return WriteTo(path, perm, func(f *os.File) error {
+		_, err := f.Write(data)
+		return err
+	})
+}
+
+// WriteTo streams content into path via fn, atomically: fn receives a
+// temporary file in path's directory (it may write and seek freely); on
+// success the file is fsynced and renamed over path. On any error the
+// temporary file is removed and path is untouched.
+func WriteTo(path string, perm os.FileMode, fn func(f *os.File) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = fn(f); err != nil {
+		return err
+	}
+	if err = f.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicio: chmod: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicio: fsync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicio: close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicio: rename into place: %w", err)
+	}
+	syncDir(dir) // best effort: persist the rename itself
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power loss.
+// Errors are ignored: some filesystems (and all of Windows) reject directory
+// fsync, and the rename's atomicity does not depend on it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

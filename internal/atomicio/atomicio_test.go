@@ -1,0 +1,89 @@
+package atomicio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestWriteFileLeavesNoTempResidue(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp residue: %s", e.Name())
+		}
+	}
+}
+
+// A failing producer must leave the old file intact and no temp behind.
+func TestWriteToFailurePreservesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep.txt")
+	if err := WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("producer failed")
+	err := WriteTo(path, 0o644, func(f *os.File) error {
+		f.Write([]byte("partial garbage"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want producer error", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "old" {
+		t.Fatalf("old file damaged: %q, %v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("%d entries in dir, want 1 (no temp residue)", len(entries))
+	}
+}
+
+// The producer may seek (EncodeSeeker-style header patching).
+func TestWriteToSeekableProducer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "patched.bin")
+	err := WriteTo(path, 0o644, func(f *os.File) error {
+		if _, err := f.Write([]byte("????body")); err != nil {
+			return err
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			return err
+		}
+		_, err := f.Write([]byte("HEAD"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "HEADbody" {
+		t.Fatalf("content = %q", got)
+	}
+}

@@ -6,10 +6,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"ibsim/internal/cache"
 	"ibsim/internal/fetch"
@@ -49,6 +53,23 @@ type Options struct {
 	// PerConfig exists as the trusted reference executor, not as a
 	// semantic switch.
 	PerConfig bool
+	// Context, when non-nil, cancels the experiment: in-flight workers
+	// observe cancellation at their next trace acquisition or sweep
+	// checkpoint and the run returns ctx.Err(). Nil means Background (run to
+	// completion).
+	Context context.Context
+	// Timeout, when positive, bounds one experiment's wall-clock time.
+	// Orchestrators (cmd/ibstables) derive a per-exhibit deadline context
+	// from it; the experiment functions themselves only consume Context.
+	Timeout time.Duration
+}
+
+// ctx resolves Options.Context, never returning nil.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() Options {
@@ -97,13 +118,37 @@ func ibsProfiles() []synth.Profile { return synth.IBSMach() }
 // specProfiles returns the SPEC92 representatives.
 func specProfiles() []synth.Profile { return synth.SPEC92() }
 
+// WorkerError is a worker panic converted into an error: one workload's
+// simulation blowing up fails its experiment with an attributable, typed
+// error instead of crashing the whole process.
+type WorkerError struct {
+	// Workload names the unit of work that panicked (usually a profile
+	// name).
+	Workload string
+	// Index is the worker's position in the runner's input order.
+	Index int
+	// Recovered is the value the panic carried.
+	Recovered any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("experiments: worker %q (index %d) panicked: %v", e.Workload, e.Index, e.Recovered)
+}
+
 // forEachTrace acquires each profile's instruction-only trace from the
 // shared store and hands it to f; the reference is released after each call,
 // so live memory stays bounded to one workload at a time plus whatever the
-// store keeps warm within its idle budget.
+// store keeps warm within its idle budget. Cancelling opt.Context stops the
+// walk between (and inside) acquisitions.
 func forEachTrace(profiles []synth.Profile, opt Options, f func(p synth.Profile, refs []trace.Ref) error) error {
+	ctx := opt.ctx()
 	for _, p := range profiles {
-		refs, release, err := synth.DefaultStore.Instr(p, opt.Seed, opt.Instructions)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		refs, release, err := synth.DefaultStore.InstrCtx(ctx, p, opt.Seed, opt.Instructions)
 		if err != nil {
 			return err
 		}
@@ -124,8 +169,8 @@ func forEachTrace(profiles []synth.Profile, opt Options, f func(p synth.Profile,
 // profiles run one at a time on the calling goroutine — the differential
 // reference path.
 func mapTraces[T any](profiles []synth.Profile, opt Options, worker func(p synth.Profile, refs []trace.Ref) (T, error)) ([]T, error) {
-	run := func(i int) (T, error) {
-		refs, release, err := synth.DefaultStore.Instr(profiles[i], opt.Seed, opt.Instructions)
+	run := func(ctx context.Context, i int) (T, error) {
+		refs, release, err := synth.DefaultStore.InstrCtx(ctx, profiles[i], opt.Seed, opt.Instructions)
 		if err != nil {
 			var zero T
 			return zero, err
@@ -133,7 +178,7 @@ func mapTraces[T any](profiles []synth.Profile, opt Options, worker func(p synth
 		defer release()
 		return worker(profiles[i], refs)
 	}
-	return mapOrdered(len(profiles), opt.workers(), run)
+	return mapOrdered(opt.ctx(), len(profiles), opt.workers(), profileName(profiles), run)
 }
 
 // mapProfiles runs worker over profiles concurrently (bounded by
@@ -141,20 +186,55 @@ func mapTraces[T any](profiles []synth.Profile, opt Options, worker func(p synth
 // worker generates its own reference stream — used by whole-system
 // experiments that need interleaved data references.
 func mapProfiles[T any](profiles []synth.Profile, opt Options, worker func(p synth.Profile) (T, error)) ([]T, error) {
-	return mapOrdered(len(profiles), opt.workers(), func(i int) (T, error) {
-		return worker(profiles[i])
-	})
+	return mapOrdered(opt.ctx(), len(profiles), opt.workers(), profileName(profiles),
+		func(_ context.Context, i int) (T, error) {
+			return worker(profiles[i])
+		})
+}
+
+// profileName labels runner indices with workload names for WorkerError.
+func profileName(profiles []synth.Profile) func(int) string {
+	return func(i int) string { return profiles[i].Name }
+}
+
+// isCancel reports whether err is pure cancellation noise (as opposed to the
+// failure that caused it).
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // mapOrdered executes run(0..n-1) on at most workers goroutines (inline on
 // the caller when workers <= 1) and returns the results in index order with
-// the first error.
-func mapOrdered[T any](n, workers int, run func(i int) (T, error)) ([]T, error) {
+// the first error. The runner is resilient: a worker panic is recovered into
+// a *WorkerError naming the workload, the first real failure cancels the
+// context handed to sibling workers (so they stop at their next trace
+// acquisition or sweep checkpoint instead of running to completion), and
+// cancellation of the caller's ctx stops the whole map. When both a real
+// error and cancellation errors are present, the real error wins — the
+// cancellation is its consequence, not the cause.
+func mapOrdered[T any](ctx context.Context, n, workers int, nameOf func(int) string, run func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	results := make([]T, n)
 	errs := make([]error, n)
+	call := func(i int) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				errs[i] = &WorkerError{Workload: nameOf(i), Index: i, Recovered: rec, Stack: string(debug.Stack())}
+			}
+			if errs[i] != nil && !isCancel(errs[i]) {
+				cancel() // first real failure stops the siblings
+			}
+		}()
+		results[i], errs[i] = run(cctx, i)
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			results[i], errs[i] = run(i)
+			if err := cctx.Err(); err != nil {
+				errs[i] = err
+				break
+			}
+			call(i)
 		}
 	} else {
 		sem := make(chan struct{}, workers)
@@ -165,17 +245,47 @@ func mapOrdered[T any](n, workers int, run func(i int) (T, error)) ([]T, error) 
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				results[i], errs[i] = run(i)
+				if err := cctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				call(i)
 			}(i)
 		}
 		wg.Wait()
 	}
+	var firstCancel error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if !isCancel(err) {
 			return nil, err
 		}
+		if firstCancel == nil {
+			firstCancel = err
+		}
+	}
+	if firstCancel != nil {
+		return nil, firstCancel
 	}
 	return results, nil
+}
+
+// PanicIsolationSelfTest drives a deliberately panicking worker through the
+// parallel runner and returns the resulting error, which must be a typed
+// *WorkerError naming the victim workload — the fault-injection harness
+// (ibscheck -faults) uses it to prove one bad config cannot crash a run.
+func PanicIsolationSelfTest(opt Options) error {
+	profiles := ibsProfiles()
+	victim := profiles[len(profiles)/2].Name
+	_, err := mapProfiles(profiles, opt.withDefaults(), func(p synth.Profile) (int, error) {
+		if p.Name == victim {
+			panic(fmt.Sprintf("injected fault in %s", p.Name))
+		}
+		return 0, nil
+	})
+	return err
 }
 
 // meanOf averages per-profile scalars in order.

@@ -124,7 +124,7 @@ func figure1Sweep(opt Options) (*Figure1Result, error) {
 					sweep.Cell{Sets: lines, Assoc: 1},
 					sweep.Cell{Sets: lines / aref, Assoc: aref})
 			}
-			m, err := sweep.Pass{LineSize: lineSize, Cells: cells, CountDistinct: true}.Run(refs)
+			m, err := sweep.Pass{LineSize: lineSize, Cells: cells, CountDistinct: true, Ctx: opt.ctx()}.Run(refs)
 			if err != nil {
 				return nil, err
 			}
@@ -313,7 +313,7 @@ func figure3Sweep(profiles []synth.Profile, opt Options) ([]figure3PerProfile, e
 				// count serves all three baseline links.
 				cells = append(cells, sweep.Cell{Sets: base.Size / base.LineSize, Assoc: 1})
 			}
-			m, err := sweep.Run(line, cells, refs)
+			m, err := sweep.Pass{LineSize: line, Cells: cells, Ctx: opt.ctx()}.Run(refs)
 			if err != nil {
 				return figure3PerProfile{}, err
 			}
@@ -487,7 +487,7 @@ func figure4Sweep(profiles []synth.Profile, opt Options) ([]figure4PerProfile, e
 		for i, a := range assocs {
 			cells[i] = sweep.Cell{Sets: l2Size / l2Line / a, Assoc: a}
 		}
-		m, err := sweep.Run(l2Line, cells, refs)
+		m, err := sweep.Pass{LineSize: l2Line, Cells: cells, Ctx: opt.ctx()}.Run(refs)
 		if err != nil {
 			return figure4PerProfile{}, err
 		}
@@ -497,7 +497,7 @@ func figure4Sweep(profiles []synth.Profile, opt Options) ([]figure4PerProfile, e
 				fetch.BlockingResult(n, m.Misses[i], l2Line, memsys.HighPerformance().Memory).CPIinstr(),
 			}
 		}
-		mb, err := sweep.Run(base.LineSize, []sweep.Cell{{Sets: base.Size / base.LineSize, Assoc: 1}}, refs)
+		mb, err := sweep.Pass{LineSize: base.LineSize, Cells: []sweep.Cell{{Sets: base.Size / base.LineSize, Assoc: 1}}, Ctx: opt.ctx()}.Run(refs)
 		if err != nil {
 			return figure4PerProfile{}, err
 		}

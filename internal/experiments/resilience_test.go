@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ibsim/internal/synth"
+	"ibsim/internal/trace"
+)
+
+// A worker panic must surface as a typed *WorkerError naming the workload —
+// on the parallel path and on the serial reference path alike — and must not
+// crash the process.
+func TestWorkerPanicIsolated(t *testing.T) {
+	profiles := ibsProfiles()
+	victim := profiles[1].Name
+	for _, opt := range []Options{{Instructions: 1000}, {Instructions: 1000, Serial: true}} {
+		_, err := mapTraces(profiles, opt.withDefaults(), func(p synth.Profile, refs []trace.Ref) (int, error) {
+			if p.Name == victim {
+				panic("boom")
+			}
+			return len(refs), nil
+		})
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			t.Fatalf("serial=%v: err = %v, want *WorkerError", opt.Serial, err)
+		}
+		if we.Workload != victim {
+			t.Fatalf("panic attributed to %q, want %q", we.Workload, victim)
+		}
+		if we.Recovered != "boom" || !strings.Contains(we.Stack, "resilience_test") {
+			t.Fatalf("WorkerError missing payload or stack: %+v", we)
+		}
+	}
+	if err := PanicIsolationSelfTest(Options{Instructions: 1000}); err == nil {
+		t.Fatal("PanicIsolationSelfTest reported no error")
+	} else {
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			t.Fatalf("self-test err = %v, want *WorkerError", err)
+		}
+	}
+}
+
+// The first real failure must win over the cancellations it causes, and must
+// stop siblings from starting fresh work.
+func TestFirstErrorCancelsSiblings(t *testing.T) {
+	boom := errors.New("workload exploded")
+	var started atomic.Int32
+	n := 64
+	_, err := mapOrdered(context.Background(), n, 4,
+		func(i int) string { return "w" },
+		func(ctx context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			// Cooperative workers notice cancellation promptly.
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(50 * time.Millisecond):
+				return i, nil
+			}
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the real failure, not a cancellation", err)
+	}
+	if got := started.Load(); got >= int32(n) {
+		t.Fatalf("all %d workers started despite early failure", got)
+	}
+}
+
+// A cancelled caller context stops mapTraces with the context error.
+func TestMapTracesHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Instructions: 1000, Context: ctx}
+	_, err := mapTraces(ibsProfiles(), opt.withDefaults(), func(p synth.Profile, refs []trace.Ref) (int, error) {
+		return len(refs), nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if err := forEachTrace(ibsProfiles(), opt.withDefaults(), func(p synth.Profile, refs []trace.Ref) error {
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("forEachTrace err = %v, want context.Canceled", err)
+	}
+}
+
+// Exhibits run to identical output with and without a generous deadline —
+// the cancellation plumbing must not perturb results.
+func TestContextPlumbingPreservesOutput(t *testing.T) {
+	opt := Options{Instructions: 20000}
+	plain, err := Table4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	withCtx, err := Table4(Options{Instructions: 20000, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Render() != withCtx.Render() {
+		t.Fatal("context-carrying run rendered different output")
+	}
+}

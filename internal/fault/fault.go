@@ -1,0 +1,196 @@
+// Package fault provides deterministic, seeded fault injection for I/O
+// paths: readers and writers that deliver short transfers, truncate the
+// stream, flip bits, or fail with an injected error after a byte budget.
+//
+// The harness exists to prove the robustness contract of the trace codec and
+// the stores built on it — typed errors (trace.ErrCorrupt, trace.ErrTruncated),
+// never a panic, never a silently wrong result — under the damage classes a
+// distributed trace artifact actually suffers: torn downloads, flipped bits,
+// flaky disks, and interrupted writes. Every fault schedule is driven by an
+// explicit seed, so a failing chaos scenario replays exactly.
+package fault
+
+import (
+	"errors"
+	"io"
+
+	"ibsim/internal/xrand"
+)
+
+// ErrInjected is the default error delivered by an error-after-N plan that
+// does not name its own.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// Plan describes the faults to inject into a stream. The zero value injects
+// nothing; each fault arms independently:
+//
+//   - ShortIO: every Read/Write moves at most 1–3 bytes, on a schedule
+//     derived from Seed. Exercises partial-transfer handling; the stream
+//     content is unchanged.
+//   - TruncateAfter > 0: the stream ends cleanly (io.EOF on read, silent
+//     discard on write — a torn write) after that many bytes.
+//   - Err != nil: the transfer fails with Err once ErrAfter bytes have
+//     moved.
+//   - FlipMask != 0: the byte at offset FlipOffset is XORed with FlipMask
+//     as it passes through.
+type Plan struct {
+	// Seed drives the short-transfer length schedule.
+	Seed uint64
+	// ShortIO chops every transfer into 1–3 byte pieces.
+	ShortIO bool
+	// TruncateAfter, when > 0, ends the stream after this many bytes.
+	TruncateAfter int64
+	// ErrAfter is the byte offset at which Err is injected (active when Err
+	// is non-nil; 0 fails the very first transfer).
+	ErrAfter int64
+	// Err is the error to inject after ErrAfter bytes.
+	Err error
+	// FlipOffset is the byte offset corrupted when FlipMask is non-zero.
+	FlipOffset int64
+	// FlipMask is XORed into the byte at FlipOffset; 0 disables flipping.
+	FlipMask byte
+}
+
+// err returns the armed injection error.
+func (p Plan) injected() error {
+	if p.Err != nil {
+		return p.Err
+	}
+	return ErrInjected
+}
+
+// Reader wraps an io.Reader, injecting the Plan's faults. It is not safe for
+// concurrent use.
+type Reader struct {
+	r   io.Reader
+	p   Plan
+	rng *xrand.Source
+	off int64
+}
+
+// NewReader returns a faulty reader over r.
+func NewReader(r io.Reader, p Plan) *Reader {
+	return &Reader{r: r, p: p, rng: xrand.New(p.Seed)}
+}
+
+// Read implements io.Reader under the plan's fault schedule.
+func (f *Reader) Read(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
+	if f.p.Err != nil && f.off >= f.p.ErrAfter {
+		return 0, f.p.injected()
+	}
+	if f.p.TruncateAfter > 0 && f.off >= f.p.TruncateAfter {
+		return 0, io.EOF
+	}
+	limit := int64(len(b))
+	if f.p.ShortIO {
+		if n := int64(1 + f.rng.Intn(3)); n < limit {
+			limit = n
+		}
+	}
+	if f.p.Err != nil && f.p.ErrAfter-f.off < limit {
+		limit = f.p.ErrAfter - f.off
+	}
+	if f.p.TruncateAfter > 0 && f.p.TruncateAfter-f.off < limit {
+		limit = f.p.TruncateAfter - f.off
+	}
+	n, err := f.r.Read(b[:limit])
+	if f.p.FlipMask != 0 && f.p.FlipOffset >= f.off && f.p.FlipOffset < f.off+int64(n) {
+		b[f.p.FlipOffset-f.off] ^= f.p.FlipMask
+	}
+	f.off += int64(n)
+	return n, err
+}
+
+// Writer wraps an io.Writer, injecting the Plan's faults. A TruncateAfter
+// plan models a torn write: bytes beyond the budget are reported as written
+// but silently discarded, the way a crash mid-write leaves a file. It is not
+// safe for concurrent use.
+type Writer struct {
+	w   io.Writer
+	p   Plan
+	rng *xrand.Source
+	off int64
+}
+
+// NewWriter returns a faulty writer over w.
+func NewWriter(w io.Writer, p Plan) *Writer {
+	return &Writer{w: w, p: p, rng: xrand.New(p.Seed)}
+}
+
+// Write implements io.Writer under the plan's fault schedule.
+func (f *Writer) Write(b []byte) (int, error) {
+	written := 0
+	for written < len(b) {
+		if f.p.Err != nil && f.off >= f.p.ErrAfter {
+			return written, f.p.injected()
+		}
+		chunk := int64(len(b) - written)
+		if f.p.ShortIO {
+			if n := int64(1 + f.rng.Intn(3)); n < chunk {
+				chunk = n
+			}
+		}
+		if f.p.Err != nil && f.p.ErrAfter-f.off < chunk {
+			chunk = f.p.ErrAfter - f.off
+		}
+		piece := b[written : written+int(chunk)]
+		if f.p.FlipMask != 0 && f.p.FlipOffset >= f.off && f.p.FlipOffset < f.off+chunk {
+			tmp := append([]byte(nil), piece...)
+			tmp[f.p.FlipOffset-f.off] ^= f.p.FlipMask
+			piece = tmp
+		}
+		var n int
+		var err error
+		if f.p.TruncateAfter > 0 && f.off >= f.p.TruncateAfter {
+			n = len(piece) // torn write: claim success, discard
+		} else {
+			keep := piece
+			if f.p.TruncateAfter > 0 && f.p.TruncateAfter-f.off < int64(len(piece)) {
+				keep = piece[:f.p.TruncateAfter-f.off]
+			}
+			if n, err = f.w.Write(keep); err == nil && len(keep) < len(piece) {
+				n = len(piece) // remainder torn off
+			}
+		}
+		f.off += int64(n)
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// FlipBits returns a copy of data with n distinct seeded bit flips — the
+// bulk corruption primitive for chaos scenarios that damage an in-memory
+// artifact rather than a stream.
+func FlipBits(data []byte, seed uint64, n int) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	rng := xrand.New(seed)
+	seen := make(map[int64]bool, n)
+	for flips := 0; flips < n; {
+		bit := int64(rng.Uint64n(uint64(len(out)) * 8))
+		if seen[bit] {
+			continue
+		}
+		seen[bit] = true
+		out[bit/8] ^= 1 << (bit % 8)
+		flips++
+	}
+	return out
+}
+
+// Truncate returns data cut to at bytes (a no-op when at is out of range) —
+// the torn-download primitive.
+func Truncate(data []byte, at int64) []byte {
+	if at < 0 || at >= int64(len(data)) {
+		return append([]byte(nil), data...)
+	}
+	return append([]byte(nil), data[:at]...)
+}

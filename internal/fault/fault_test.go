@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}
+
+// Short reads deliver the exact original content, just in small pieces.
+func TestReaderShortIOPreservesContent(t *testing.T) {
+	in := payload(4096)
+	r := NewReader(bytes.NewReader(in), Plan{ShortIO: true, Seed: 42})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, in) {
+		t.Fatal("short-read stream altered content")
+	}
+}
+
+// The short-IO schedule is a pure function of the seed.
+func TestReaderShortIODeterministic(t *testing.T) {
+	in := payload(512)
+	sizes := func(seed uint64) []int {
+		r := NewReader(bytes.NewReader(in), Plan{ShortIO: true, Seed: seed})
+		var out []int
+		buf := make([]byte, 64)
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				out = append(out, n)
+			}
+			if err != nil {
+				return out
+			}
+		}
+	}
+	a, b := sizes(7), sizes(7)
+	if len(a) != len(b) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverges at read %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReaderTruncate(t *testing.T) {
+	in := payload(100)
+	r := NewReader(bytes.NewReader(in), Plan{TruncateAfter: 37})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 37 || !bytes.Equal(got, in[:37]) {
+		t.Fatalf("truncated read returned %d bytes, want exactly 37", len(got))
+	}
+}
+
+func TestReaderErrAfter(t *testing.T) {
+	boom := errors.New("boom")
+	in := payload(100)
+	r := NewReader(bytes.NewReader(in), Plan{Err: boom, ErrAfter: 10})
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if len(got) != 10 || !bytes.Equal(got, in[:10]) {
+		t.Fatalf("pre-fault bytes wrong: got %d", len(got))
+	}
+}
+
+func TestReaderErrAfterZeroFailsImmediately(t *testing.T) {
+	r := NewReader(bytes.NewReader(payload(10)), Plan{Err: ErrInjected})
+	if _, err := r.Read(make([]byte, 4)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestReaderFlip(t *testing.T) {
+	in := payload(64)
+	r := NewReader(bytes.NewReader(in), Plan{ShortIO: true, Seed: 3, FlipOffset: 33, FlipMask: 0x80})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), in...)
+	want[33] ^= 0x80
+	if !bytes.Equal(got, want) {
+		t.Fatal("flip landed on the wrong byte")
+	}
+}
+
+func TestWriterErrAfterSurfacesOnce(t *testing.T) {
+	var buf bytes.Buffer
+	boom := errors.New("disk on fire")
+	w := NewWriter(&buf, Plan{Err: boom, ErrAfter: 25})
+	n, err := w.Write(payload(100))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if n != 25 || buf.Len() != 25 {
+		t.Fatalf("wrote %d (buffered %d), want 25", n, buf.Len())
+	}
+}
+
+// A torn write claims success but persists only the byte budget.
+func TestWriterTornWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Plan{TruncateAfter: 16, ShortIO: true, Seed: 9})
+	in := payload(64)
+	n, err := w.Write(in)
+	if err != nil || n != len(in) {
+		t.Fatalf("torn write reported (%d, %v), want full claimed success", n, err)
+	}
+	if buf.Len() != 16 || !bytes.Equal(buf.Bytes(), in[:16]) {
+		t.Fatalf("persisted %d bytes, want exactly 16", buf.Len())
+	}
+}
+
+func TestWriterFlipAndShortIO(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Plan{ShortIO: true, Seed: 11, FlipOffset: 5, FlipMask: 0x01})
+	in := payload(32)
+	if _, err := w.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), in...)
+	want[5] ^= 0x01
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("writer flip landed on the wrong byte")
+	}
+	if in[5] == want[5] {
+		t.Fatal("writer mutated the caller's buffer")
+	}
+}
+
+func TestFlipBitsDeterministicAndDistinct(t *testing.T) {
+	in := payload(256)
+	a := FlipBits(in, 99, 8)
+	b := FlipBits(in, 99, 8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("FlipBits not deterministic")
+	}
+	diff := 0
+	for i := range in {
+		for bit := 0; bit < 8; bit++ {
+			if (in[i]^a[i])&(1<<bit) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 8 {
+		t.Fatalf("%d bits differ, want 8 distinct flips", diff)
+	}
+}
+
+func TestTruncateHelper(t *testing.T) {
+	in := payload(10)
+	if got := Truncate(in, 4); len(got) != 4 {
+		t.Fatalf("Truncate(4) → %d bytes", len(got))
+	}
+	if got := Truncate(in, 99); !bytes.Equal(got, in) {
+		t.Fatal("out-of-range Truncate altered data")
+	}
+}

@@ -25,6 +25,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"ibsim/internal/trace"
@@ -92,7 +93,16 @@ type Pass struct {
 	// reference, so it is off unless a Three-Cs style decomposition needs
 	// it.
 	CountDistinct bool
+	// Ctx, when non-nil, lets a long pass be cancelled: Run polls it every
+	// cancelCheckMask+1 references and returns ctx.Err() promptly instead
+	// of finishing the trace. Nil runs to completion.
+	Ctx context.Context
 }
+
+// cancelCheckMask sets the cancellation polling stride (every 64K refs —
+// microseconds of work, so cancellation latency stays negligible while the
+// hot loop pays one masked compare per reference).
+const cancelCheckMask = 1<<16 - 1
 
 // Run is the common case: a miss matrix for cells at lineSize, without
 // first-touch counting.
@@ -163,7 +173,12 @@ func (p Pass) Run(refs []trace.Ref) (*Matrix, error) {
 	for v := p.LineSize; v > 1; v >>= 1 {
 		shift++
 	}
-	for _, r := range refs {
+	for ri, r := range refs {
+		if p.Ctx != nil && ri&cancelCheckMask == 0 {
+			if err := p.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		la := r.Addr >> shift
 		key := la + 1
 		if seen != nil && seen.add(key) {

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"ibsim/internal/cache"
@@ -188,6 +190,33 @@ func BenchmarkSweepFigure3Grid(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(64, cells, refs); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// A cancelled pass context stops Run promptly with the context error; a
+// live context changes nothing about the result.
+func TestRunHonorsContext(t *testing.T) {
+	refs := testRefs(t, 200_000)
+	cells := []Cell{{Sets: 256, Assoc: 1}, {Sets: 64, Assoc: 4}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (Pass{LineSize: 32, Cells: cells, Ctx: ctx}.Run(refs)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pass: err = %v, want context.Canceled", err)
+	}
+
+	want, err := Run(32, cells, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Pass{LineSize: 32, Cells: cells, Ctx: context.Background()}.Run(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Misses {
+		if got.Misses[i] != want.Misses[i] {
+			t.Fatalf("cell %d: ctx run %d misses, plain run %d", i, got.Misses[i], want.Misses[i])
 		}
 	}
 }

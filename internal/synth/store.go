@@ -1,10 +1,18 @@
 package synth
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 
 	"ibsim/internal/trace"
 )
+
+// ErrOverBudget reports a request to materialize a trace larger than the
+// store's hard memory budget. Callers that can consume a stream should fall
+// back to Source, which regenerates over budget in O(1) memory.
+var ErrOverBudget = errors.New("synth: trace exceeds store hard memory budget")
 
 // DefaultIdleBudget bounds the bytes the default Store keeps alive for
 // traces no caller currently holds: roughly two full experiment suites at
@@ -37,9 +45,12 @@ type storeEntry struct {
 }
 
 // Stats reports store activity; Idle is the byte count held only by the
-// memoization cache (no outstanding handle).
+// memoization cache (no outstanding handle). Fallbacks counts Source
+// requests served by streaming regeneration because materializing would
+// have exceeded the hard budget.
 type Stats struct {
 	Hits, Misses, Evictions int64
+	Fallbacks               int64
 	IdleBytes               int64
 	Entries                 int
 }
@@ -57,15 +68,26 @@ type Store struct {
 	mu         sync.Mutex
 	entries    map[storeKey]*storeEntry
 	idleBudget int64
+	hardBudget int64 // 0 = unlimited
 	idleBytes  int64
 	tick       int64
 	stats      Stats
 }
 
 // NewStore returns an empty store keeping at most idleBudget bytes of
-// unreferenced traces cached (0 caches nothing once released).
+// unreferenced traces cached (0 caches nothing once released) and no hard
+// materialization limit.
 func NewStore(idleBudget int64) *Store {
-	return &Store{entries: make(map[storeKey]*storeEntry), idleBudget: idleBudget}
+	return NewStoreLimits(idleBudget, 0)
+}
+
+// NewStoreLimits returns a store with both an idle-cache budget and a hard
+// per-trace materialization budget: an Instr request whose trace would
+// retain more than hardBudget bytes fails with ErrOverBudget instead of
+// attempting the allocation, and Source degrades to streaming regeneration.
+// hardBudget 0 means unlimited.
+func NewStoreLimits(idleBudget, hardBudget int64) *Store {
+	return &Store{entries: make(map[storeKey]*storeEntry), idleBudget: idleBudget, hardBudget: hardBudget}
 }
 
 // refBytes is the retained size of one trace.Ref (16 bytes with padding).
@@ -77,6 +99,22 @@ const refBytes = 16
 // slice; it is safe to call from any goroutine. Concurrent acquires of the
 // same key share one generation.
 func (s *Store) Instr(prof Profile, seed uint64, n int64) ([]trace.Ref, func(), error) {
+	return s.InstrCtx(context.Background(), prof, seed, n)
+}
+
+// InstrCtx is Instr honoring ctx: a caller waiting on another goroutine's
+// in-flight generation returns ctx.Err() as soon as ctx is done, instead of
+// blocking to completion. The generation itself is not interrupted (another
+// caller may still want it); an abandoned wait releases the caller's
+// reference, so it cannot leak the entry.
+func (s *Store) InstrCtx(ctx context.Context, prof Profile, seed uint64, n int64) ([]trace.Ref, func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if s.hardBudget > 0 && n*refBytes > s.hardBudget {
+		return nil, nil, fmt.Errorf("%w: %d refs need %d bytes, budget %d",
+			ErrOverBudget, n, n*refBytes, s.hardBudget)
+	}
 	key := storeKey{prof: prof, seed: seed, n: n}
 	// InstrTrace zeroes the data profile, so profiles differing only there
 	// yield the same instruction stream — normalize to share the entry.
@@ -93,7 +131,15 @@ func (s *Store) Instr(prof Profile, seed uint64, n int64) ([]trace.Ref, func(), 
 		s.tick++
 		e.lastUse = s.tick
 		s.mu.Unlock()
-		<-e.ready
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			// Safe: the generating caller holds its own reference until the
+			// entry is ready, so this decrement cannot free an unfinished
+			// entry out from under it.
+			s.release(key, e)
+			return nil, nil, ctx.Err()
+		}
 		if e.err != nil {
 			s.release(key, e)
 			return nil, nil, e.err
@@ -114,6 +160,29 @@ func (s *Store) Instr(prof Profile, seed uint64, n int64) ([]trace.Ref, func(), 
 		return nil, nil, e.err
 	}
 	return e.refs, s.releaseOnce(key, e), nil
+}
+
+// Source returns a trace.Source over prof's instruction stream for
+// (seed, n). Within the hard budget it is backed by the memoized slice;
+// over budget it degrades to streaming regeneration in O(1) memory instead
+// of failing, counting the degradation in Stats.Fallbacks. The release
+// function must be called exactly once when the caller is done reading.
+func (s *Store) Source(prof Profile, seed uint64, n int64) (trace.Source, func(), error) {
+	refs, release, err := s.Instr(prof, seed, n)
+	if err == nil {
+		return trace.NewSliceSource(refs), release, nil
+	}
+	if !errors.Is(err, ErrOverBudget) {
+		return nil, nil, err
+	}
+	src, err := InstrSource(prof, seed, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	s.stats.Fallbacks++
+	s.mu.Unlock()
+	return src, func() {}, nil
 }
 
 // releaseOnce wraps release so double-calling a handle's release is a no-op.

@@ -1,8 +1,11 @@
 package synth
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"ibsim/internal/trace"
 )
@@ -122,6 +125,137 @@ func TestStoreEvictsIdleBeyondBudget(t *testing.T) {
 	}
 	// Double release is a no-op.
 	hold()
+}
+
+func TestStoreHardBudgetRejectsMaterialization(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStoreLimits(DefaultIdleBudget, 1000*refBytes)
+	if _, _, err := s.Instr(p, 0, 2000); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("Instr over budget = %v, want ErrOverBudget", err)
+	}
+	// At or under the budget still materializes.
+	refs, release, err := s.Instr(p, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1000 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	release()
+}
+
+func TestStoreSourceFallsBackToStreaming(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := InstrTrace(p, 7, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStoreLimits(DefaultIdleBudget, 1000*refBytes)
+	src, release, err := s.Source(p, 7, 3000)
+	if err != nil {
+		t.Fatalf("Source over budget should stream, got %v", err)
+	}
+	got, err := trace.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d refs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ref %d: streamed %v != InstrTrace %v", i, got[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", st.Fallbacks)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("streaming fallback left %d store entries", st.Entries)
+	}
+
+	// Under budget, Source is served by the memoized slice (no fallback).
+	src2, release2, err := s.Source(p, 7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Collect(src2); err != nil {
+		t.Fatal(err)
+	}
+	release2()
+	if st := s.Stats(); st.Fallbacks != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want in-budget Source memoized", st)
+	}
+}
+
+func TestStoreInstrCtxCancellation(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultIdleBudget)
+
+	// Already-cancelled context fails fast without generating anything.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.InstrCtx(ctx, p, 0, 1000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled InstrCtx = %v, want context.Canceled", err)
+	}
+	if st := s.Stats(); st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("cancelled acquire touched the store: %+v", st)
+	}
+
+	// A waiter abandoning an in-flight generation must not corrupt the
+	// entry for the generating caller or later acquires.
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var genErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		refs, release, err := s.Instr(p, 9, 200000)
+		genErr = err
+		if err == nil {
+			if len(refs) != 200000 {
+				genErr = errors.New("generator got short trace")
+			}
+			release()
+		}
+		close(gate)
+	}()
+	<-started
+	wctx, wcancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer wcancel()
+	_, _, werr := s.InstrCtx(wctx, p, 9, 200000)
+	// Either the generation finished inside the deadline (fine) or the
+	// waiter bailed with the context error.
+	if werr != nil && !errors.Is(werr, context.DeadlineExceeded) {
+		t.Fatalf("abandoning waiter = %v", werr)
+	}
+	<-gate
+	wg.Wait()
+	if genErr != nil {
+		t.Fatalf("generating caller failed: %v", genErr)
+	}
+	// The entry must still be intact and servable.
+	refs, release, err := s.Instr(p, 9, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 200000 {
+		t.Fatalf("post-abandon acquire got %d refs", len(refs))
+	}
+	release()
 }
 
 func TestStoreConcurrentAcquireSharesOneGeneration(t *testing.T) {

@@ -45,6 +45,8 @@ func FuzzDecode(f *testing.F) {
 	f.Add(uint64(1), append([]byte{0x00}, bytes.Repeat([]byte{0x80}, 11)...)) // varint overflow
 	f.Add(uint64(0), body)                                                    // count-less stream
 	f.Add(uint64(0), []byte{})                                                // empty body
+	f.Add(uint64(1)<<62, body)                                                // absurd count: must not pre-allocate
+	f.Add(^uint64(0), []byte{})                                               // absurd count, empty body
 
 	f.Fuzz(func(t *testing.T, count uint64, recs []byte) {
 		data := make([]byte, headerSize+len(recs))
@@ -128,6 +130,34 @@ func FuzzReader(f *testing.F) {
 		}
 		// Err may or may not be set; it must not panic and must be stable.
 		_ = r.Err()
+	})
+}
+
+// FuzzSalvage feeds arbitrary bytes to DecodeSalvage and asserts the salvage
+// contract: no panic; a complete result has no error; an incomplete result
+// carries a typed error; and the salvaged prefix of a counted stream never
+// exceeds the declared count.
+func FuzzSalvage(f *testing.F) {
+	valid := encodeValid(f, corpusRefs)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:headerSize+2])
+	f.Add([]byte("IBSTRACE"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		refs, complete, err := DecodeSalvage(bytes.NewReader(data))
+		if complete && err != nil {
+			t.Fatalf("complete salvage returned error %v", err)
+		}
+		if !complete && err == nil && len(data) >= headerSize {
+			t.Fatal("incomplete salvage without error")
+		}
+		if len(data) >= headerSize && string(data[:8]) == string(Magic) {
+			if count := binary.LittleEndian.Uint64(data[12:20]); count > 0 && uint64(len(refs)) > count {
+				t.Fatalf("salvaged %d refs, header declared %d", len(refs), count)
+			}
+		}
 	})
 }
 
