@@ -40,11 +40,15 @@ chaos:
 	$(GO) run -race ./cmd/ibscheck -faults -o ""
 
 # Benchmark-regression run: times the pinned stages plus the Figure 3+4
-# sweep-vs-per-config comparison at the golden scale, records wall-clock
-# and speedup in BENCH_ibsim.json, and exits non-zero if the sweep
-# engine's speedup regresses more than 20% against the recorded baseline.
+# sweep-vs-per-config and Tables 5-8 + Figures 6/7 fanout-vs-per-config
+# comparisons at the golden scale, records wall-clock and speedup in
+# BENCH_ibsim.json, and exits non-zero if either speedup regresses more
+# than 20% against its recorded baseline. Also runs the bulk-replay
+# microbenchmarks (trace compaction, per-ref vs FetchRun replay).
 bench:
 	$(GO) run ./cmd/ibscheck -bench-only -n 200000
+	$(GO) test -run='^$$' -bench='CompactAppend|FetchPerRef|FetchRun' -benchmem \
+		./internal/trace ./internal/fetch
 
 # Go microbenchmarks (cache hot path, sweep engine, generators).
 microbench:

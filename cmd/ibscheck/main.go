@@ -41,6 +41,7 @@ func run(args []string) int {
 	benchOnly := fs.Bool("bench-only", false, "skip invariant/differential checks, run only the bench stages")
 	faults := fs.Bool("faults", false, "run only the seeded fault-injection (chaos) suite")
 	noFigures := fs.Bool("no-figures", false, "skip the Figure 3+4 sweep-vs-per-config benchmark")
+	noTables := fs.Bool("no-tables", false, "skip the Tables 5-8 + Figures 6/7 fanout-vs-per-config benchmark")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -147,6 +148,18 @@ func run(args []string) int {
 		stagesOK = stagesOK && figures.Passed
 	}
 
+	var tables *check.TablesBench
+	if !*noTables {
+		tables, err = check.RunTablesBench(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+			return 2
+		}
+		fmt.Printf("%-4s bench/%-36s %s (%.2fs)\n", verdict(tables.Passed), "tables-fanout", tables.Detail,
+			tables.PerConfigSeconds+tables.FanoutSeconds)
+		stagesOK = stagesOK && tables.Passed
+	}
+
 	report := check.Report{
 		Schema:       "ibsim-bench/v1",
 		Instructions: *n,
@@ -155,6 +168,7 @@ func run(args []string) int {
 		Checks:       results,
 		Stages:       stages,
 		Figure34:     figures,
+		Tables:       tables,
 		Passed:       check.AllPassed(results) && stagesOK,
 		TotalSeconds: time.Since(start).Seconds(),
 	}

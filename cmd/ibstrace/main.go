@@ -45,6 +45,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("== %s ==\n%s", *file, a.Report())
+		printRunStats(ibsim.SummarizeRuns(ibsim.CompactTrace(refs)))
 	case *workload != "":
 		if err := report(*workload, *line, *n); err != nil {
 			fail(err)
@@ -72,6 +73,15 @@ func report(name string, line int, n int64) error {
 	}
 	fmt.Printf("== %s (%s) ==\n%s", w.Name, w.Description, a.Report())
 	return nil
+}
+
+// printRunStats reports the trace's sequential-run structure — the numbers
+// that determine how much the run-compacted bulk replay path can win.
+func printRunStats(st ibsim.RunStats) {
+	fmt.Printf("sequential runs:      %d (%d instructions)\n", st.Runs, st.Instructions)
+	fmt.Printf("run length:           mean %.2f, median %.1f, max %d instructions\n",
+		st.MeanLen, st.MedianLen, st.MaxLen)
+	fmt.Printf("compaction ratio:     %.2fx\n", st.CompactionRatio())
 }
 
 func fail(err error) {

@@ -46,6 +46,10 @@ type (
 	DataProfile = synth.DataProfile
 	// Ref is a single memory reference.
 	Ref = trace.Ref
+	// Run is a maximal sequential instruction run in a compacted trace.
+	Run = trace.Run
+	// RunStats summarizes a compacted trace's sequentiality.
+	RunStats = trace.RunStats
 	// Domain identifies a protection domain (User, Kernel, BSDServer,
 	// XServer).
 	Domain = trace.Domain
@@ -247,6 +251,17 @@ func SalvageTraceFile(path string) (refs []Ref, complete bool, err error) {
 	defer f.Close()
 	return trace.DecodeSalvage(f)
 }
+
+// CompactTrace reduces a reference stream to its maximal sequential
+// instruction runs — the representation the bulk replay paths (ReplayFetch's
+// engines via FetchRun, internal/replay's fan-out driver) consume. Data
+// references are dropped; Expand-ing the result reproduces exactly the
+// instruction fetches of refs.
+func CompactTrace(refs []Ref) []Run { return trace.Compact(refs) }
+
+// SummarizeRuns computes run-length statistics (run count, mean/median/max
+// length, compaction ratio) for a compacted trace.
+func SummarizeRuns(runs []Run) RunStats { return trace.SummarizeRuns(runs) }
 
 // ReplayCache replays an already generated (or loaded) reference stream
 // through a cache, counting only instruction fetches.

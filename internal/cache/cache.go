@@ -178,7 +178,10 @@ type Cache struct {
 	// package benchmarks pin that).
 	assoc int
 	isLRU bool
-	ways  []way // sets × assoc, row-major; sized once at construction
+	// dm4 marks the dominant replay shape — direct-mapped, non-sector, LRU —
+	// for which TouchRun and Touch take a fully inlined fast path.
+	dm4  bool
+	ways []way // sets × assoc, row-major; sized once at construction
 	clock uint64
 	rng   *xrand.Source
 	stats Stats
@@ -200,6 +203,7 @@ func New(cfg Config) (*Cache, error) {
 		isLRU:     cfg.Replacement == LRU,
 		ways:      make([]way, cfg.Lines()),
 	}
+	c.dm4 = c.assoc == 1 && cfg.SubBlock == 0 && c.isLRU
 	if cfg.SubBlock != 0 {
 		c.subShift = log2(uint64(cfg.SubBlock))
 		c.subPerLine = uint(cfg.LineSize / cfg.SubBlock)
@@ -343,6 +347,173 @@ func (c *Cache) Lookup(addr uint64) bool {
 	}
 	c.stats.Misses++
 	return false
+}
+
+// Touch applies n consecutive Lookup hits to the resident address in one
+// step: the clock advances n ticks, Accesses and Hits grow by n, and the
+// line's LRU stamp lands on the final tick — bit-identical to calling
+// Lookup(addr) n times when every call would hit. It is the bulk-replay fast
+// path for sequential instruction runs: the n instructions sharing a line
+// (and, for sector caches, a sub-block suffix — sub-block fills are
+// suffix-closed, so residency of the lowest address implies the rest) need
+// one tag probe instead of n.
+//
+// If the address would miss, Touch changes nothing and returns false; the
+// caller must fall back to per-access Lookup.
+func (c *Cache) Touch(addr uint64, n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	if c.dm4 {
+		// Direct-mapped replacement has a single candidate, so the LRU stamp
+		// (and the clock that feeds it) orders nothing; the fast path skips
+		// the stamp store — hit/miss behavior and stats are identical.
+		la := addr >> c.lineShift
+		w := &c.ways[la&c.setMask]
+		if !w.valid || w.tag != la>>c.setShift {
+			return false
+		}
+		c.clock += uint64(n)
+		c.stats.Accesses += n
+		c.stats.Hits += n
+		return true
+	}
+	i := c.find(c.lineAddr(addr))
+	if i < 0 {
+		return false
+	}
+	w := &c.ways[i]
+	if c.subPerLine != 0 && w.subValid&c.subBit(addr) == 0 {
+		return false
+	}
+	c.clock += uint64(n)
+	c.stats.Accesses += n
+	c.stats.Hits += n
+	if c.isLRU {
+		w.stamp = c.clock
+	}
+	return true
+}
+
+// TouchRun absorbs the leading all-hit prefix of a sequential run: starting
+// at start, n accesses with the given byte stride, stopping at the first
+// access that would miss. Each resident line's accesses are applied as one
+// Touch, so the whole prefix costs one tag probe per line instead of one per
+// access. Returns the number of accesses absorbed; the caller resumes (with
+// its miss path) at start + absorbed*stride.
+func (c *Cache) TouchRun(start uint64, n, stride int64) int64 {
+	if c.dm4 && stride == 4 {
+		return c.TouchRunDM4(start, n)
+	}
+	lineMask := uint64(c.cfg.LineSize - 1)
+	var absorbed int64
+	addr := start
+	for n > 0 {
+		k := n
+		if lineEnd := (addr | lineMask) + 1; lineEnd != 0 {
+			// lineEnd == 0 means the top line, which holds the rest of the
+			// run (sequential runs never wrap the address space).
+			if room := (int64(lineEnd-addr) + stride - 1) / stride; room < k {
+				k = room
+			}
+		}
+		i := c.find(addr >> c.lineShift)
+		if i < 0 {
+			break
+		}
+		w := &c.ways[i]
+		if c.subPerLine != 0 && w.subValid&c.subBit(addr) == 0 {
+			break
+		}
+		c.clock += uint64(k)
+		c.stats.Accesses += k
+		c.stats.Hits += k
+		if c.isLRU {
+			w.stamp = c.clock
+		}
+		absorbed += k
+		addr += uint64(k * stride)
+		n -= k
+	}
+	return absorbed
+}
+
+// DM4 reports whether this cache takes TouchRun's direct-mapped, non-sector,
+// LRU specialization at stride 4. Replay loops that issue many short runs
+// hoist the dispatch: check DM4 once, then call TouchRunDM4 directly.
+func (c *Cache) DM4() bool { return c.dm4 }
+
+// TouchRunDM4 is TouchRun at stride 4 for caches where DM4 reports true; the
+// caller must check. The specialization turns the per-line room division into
+// a shift, inlines the direct-mapped tag compare, and hoists the clock and
+// the access/hit counters out of the line loop. Like Touch's direct-mapped
+// path it skips the per-line LRU stamp stores — replacement has a single
+// candidate, so stamps order nothing — leaving hit/miss behavior and stats
+// identical to the general loop.
+func (c *Cache) TouchRunDM4(start uint64, n int64) int64 {
+	mask := c.setMask
+	ways := c.ways[:mask+1] // one way per set: len == setMask+1, so la&mask needs no bounds check
+	var absorbed int64
+	addr := start
+	// First (possibly unaligned) line.
+	la := addr >> c.lineShift
+	w := &ways[la&mask]
+	if w.valid && w.tag == la>>c.setShift {
+		k := n
+		if lineEnd := (addr | uint64(c.cfg.LineSize-1)) + 1; lineEnd != 0 {
+			// lineEnd == 0 means the top line, which holds the rest of the
+			// run (sequential runs never wrap the address space).
+			if room := int64(lineEnd-addr+3) >> 2; room < k {
+				k = room
+			}
+		}
+		absorbed = k
+		addr += uint64(k) << 2
+		n -= k
+		// Remaining lines start aligned, so each holds ipl instructions.
+		ipl := int64(c.cfg.LineSize) >> 2
+		for n > 0 {
+			la = addr >> c.lineShift
+			w = &ways[la&mask]
+			if !w.valid || w.tag != la>>c.setShift {
+				break
+			}
+			k = ipl
+			if n < k {
+				k = n
+			}
+			absorbed += k
+			addr += uint64(k) << 2
+			n -= k
+		}
+	}
+	c.clock += uint64(absorbed)
+	c.stats.Accesses += absorbed
+	c.stats.Hits += absorbed
+	return absorbed
+}
+
+// MissFillDM4 records a demand access known to miss and fills the line, in
+// one step: Accesses and Misses grow by one, the set's resident line (if
+// any) is evicted with eviction accounting, and the new line is filled. It
+// is exactly Lookup(addr) returning false followed by FillEvict(addr) for a
+// cache where DM4 reports true and addr's line is absent; callers (the bulk
+// replay loops) guarantee both, having just probed the line via TouchRunDM4.
+// Skipping the two redundant tag probes is the point.
+func (c *Cache) MissFillDM4(addr uint64) {
+	c.stats.Accesses++
+	c.stats.Misses++
+	c.clock += 2 // one Lookup tick + one FillEvict tick
+	la := addr >> c.lineShift
+	w := &c.ways[la&c.setMask]
+	if w.valid {
+		c.stats.Evictions++
+	}
+	w.tag = la >> c.setShift
+	w.valid = true
+	w.stamp = c.clock
+	w.subValid = 0
+	c.stats.Fills++
 }
 
 // Contains reports residency without updating any state or statistics.

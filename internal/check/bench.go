@@ -52,6 +52,9 @@ type Report struct {
 	// Figure34 records the Figure 3+4 sweep-engine benchmark: wall-clock of
 	// both execution paths, the speedup, and the regression verdict.
 	Figure34 *FigureBench `json:"figure34,omitempty"`
+	// Tables records the Tables 5-8 + Figures 6/7 fan-out replay benchmark,
+	// in the same both-paths form as Figure34.
+	Tables *TablesBench `json:"tables,omitempty"`
 	// Passed is the run's overall verdict.
 	Passed bool `json:"passed"`
 	// TotalSeconds is the whole run's wall-clock time.

@@ -100,6 +100,7 @@ func RunAll(opt Options) ([]Result, error) {
 		StreamingEquality,
 		ParallelVsSerial,
 		SweepVsPerConfig,
+		FanoutVsPerConfig,
 		TraceRoundTrip,
 	} {
 		rs, err := fn(opt)

@@ -26,6 +26,15 @@ const defaultRelTol = 1e-9
 // update it alongside deliberate sweep-engine changes.
 const figure34GoldenSpeedup = 6.3
 
+// tablesGoldenSpeedup is the recorded Tables 5-8 + Figures 6/7 speedup of
+// the fan-out replay path (run-compacted traces, bulk FetchRun, analytic
+// dedup of same-geometry blocking engines) over the per-configuration path
+// at the pinned scale, measured by `go run ./cmd/ibscheck -n 200000` on the
+// commit that introduced the replay driver. RunTablesBench fails a
+// golden-scale run whose measured speedup drops below 80% of this; update
+// it alongside deliberate replay-path changes.
+const tablesGoldenSpeedup = 3.1
+
 var goldens = map[string]Golden{
 	"cache/base-l1":   {CPI: 0, MPI: 0.04838},
 	"fetch/blocking":  {CPI: 0.33866, MPI: 0.04838},

@@ -18,6 +18,7 @@ import (
 	"ibsim/internal/cache"
 	"ibsim/internal/fetch"
 	"ibsim/internal/memsys"
+	"ibsim/internal/replay"
 	"ibsim/internal/synth"
 	"ibsim/internal/trace"
 )
@@ -46,12 +47,14 @@ type Options struct {
 	// shrink it on small machines, raise it past GOMAXPROCS to overlap
 	// generation with simulation. Ignored when Serial is set.
 	Workers int
-	// PerConfig forces Figure 1, Figure 3, and Figure 4 onto the original
-	// one-full-simulation-per-configuration path instead of the single-pass
-	// sweep engine (internal/sweep). Both paths render byte-identical
-	// output — internal/check's sweep differential enforces that — so
-	// PerConfig exists as the trusted reference executor, not as a
-	// semantic switch.
+	// PerConfig forces the accelerated experiments onto their original
+	// one-full-simulation-per-configuration paths: Figures 1, 3, and 4 fall
+	// back from the single-pass sweep engine (internal/sweep), and Tables
+	// 5-8 plus Figures 6/7 fall back from the fan-out replay driver
+	// (internal/replay) to per-engine fetch.Run over the expanded trace.
+	// Every pair of paths renders byte-identical output — internal/check's
+	// sweep and fanout differentials enforce that — so PerConfig exists as
+	// the trusted reference executor, not as a semantic switch.
 	PerConfig bool
 	// Context, when non-nil, cancels the experiment: in-flight workers
 	// observe cancellation at their next trace acquisition or sweep
@@ -177,6 +180,47 @@ func mapTraces[T any](profiles []synth.Profile, opt Options, worker func(p synth
 		}
 		defer release()
 		return worker(profiles[i], refs)
+	}
+	return mapOrdered(opt.ctx(), len(profiles), opt.workers(), profileName(profiles), run)
+}
+
+// mapBanks replays every profile's instruction trace through a bank of
+// fetch engines and returns, in profile order, each profile's per-engine
+// Results in bank order — the one-pass-per-workload primitive behind Tables
+// 5-8 and Figures 6/7. mk builds a fresh bank per profile (engines are
+// stateful). The default path acquires the memoized run-compacted trace
+// (synth.DefaultStore.InstrRuns) and fans it out through replay.Replay —
+// bulk FetchRun per engine plus analytic dedup of same-geometry blocking
+// engines; opt.PerConfig selects the reference path, one fetch.Run over the
+// expanded trace per engine. Both paths produce bit-identical Results
+// (pinned by internal/check's fanout differential).
+func mapBanks(profiles []synth.Profile, opt Options, mk func() ([]fetch.Engine, error)) ([][]fetch.Result, error) {
+	run := func(ctx context.Context, i int) ([]fetch.Result, error) {
+		engines, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		if opt.PerConfig {
+			refs, release, err := synth.DefaultStore.InstrCtx(ctx, profiles[i], opt.Seed, opt.Instructions)
+			if err != nil {
+				return nil, err
+			}
+			defer release()
+			results := make([]fetch.Result, len(engines))
+			for j, e := range engines {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				results[j] = fetch.Run(e, refs)
+			}
+			return results, nil
+		}
+		_, runs, release, err := synth.DefaultStore.InstrRuns(ctx, profiles[i], opt.Seed, opt.Instructions)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return replay.Replay(ctx, runs, engines)
 	}
 	return mapOrdered(opt.ctx(), len(profiles), opt.workers(), profileName(profiles), run)
 }

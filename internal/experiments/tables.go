@@ -236,23 +236,41 @@ type Table5Result struct {
 }
 
 // Table5 computes the baseline CPIinstr values: an 8-KB direct-mapped L1
-// backed directly by each baseline memory system.
+// backed directly by each baseline memory system. Each suite replays once
+// through a two-engine bank (economy, high-performance); the two engines
+// share the L1 geometry, so the fan-out driver simulates one and derives
+// the other analytically.
 func Table5(opt Options) (*Table5Result, error) {
 	opt = opt.withDefaults()
 	res := &Table5Result{}
 	cfg := BaseL1()
-	var err error
-	if res.EconomySPEC, err = l1CPI(specProfiles(), cfg, memsys.Economy().Memory, opt); err != nil {
-		return nil, err
+	mkBank := func() ([]fetch.Engine, error) {
+		eco, err := fetch.NewBlocking(cfg, memsys.Economy().Memory, 0)
+		if err != nil {
+			return nil, err
+		}
+		hp, err := fetch.NewBlocking(cfg, memsys.HighPerformance().Memory, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []fetch.Engine{eco, hp}, nil
 	}
-	if res.EconomyIBS, err = l1CPI(ibsProfiles(), cfg, memsys.Economy().Memory, opt); err != nil {
-		return nil, err
-	}
-	if res.HighPerfSPEC, err = l1CPI(specProfiles(), cfg, memsys.HighPerformance().Memory, opt); err != nil {
-		return nil, err
-	}
-	if res.HighPerfIBS, err = l1CPI(ibsProfiles(), cfg, memsys.HighPerformance().Memory, opt); err != nil {
-		return nil, err
+	for _, suite := range []struct {
+		profiles []synth.Profile
+		eco, hp  *float64
+	}{
+		{specProfiles(), &res.EconomySPEC, &res.HighPerfSPEC},
+		{ibsProfiles(), &res.EconomyIBS, &res.HighPerfIBS},
+	} {
+		per, err := mapBanks(suite.profiles, opt, mkBank)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(len(per))
+		for _, bank := range per {
+			*suite.eco += bank[0].CPIinstr() / n
+			*suite.hp += bank[1].CPIinstr() / n
+		}
 	}
 	return res, nil
 }
@@ -309,37 +327,38 @@ func Table6(opt Options) (*Table6Result, error) {
 	return &Table6Result{Grid: grid}, nil
 }
 
-// runGrid evaluates an engine factory across a line-size × depth grid.
+// runGrid evaluates an engine factory across a line-size × depth grid: one
+// replay per workload through a bank holding every grid cell's engine, in
+// (depth, line) order.
 func runGrid(opt Options, lineSizes, depths []int, mk func(lineSize, depth int) (fetch.Engine, error)) (prefetchGrid, error) {
 	grid := prefetchGrid{LineSizes: lineSizes, Depths: depths}
 	grid.CPI = make([][]float64, len(depths))
 	for i := range grid.CPI {
 		grid.CPI[i] = make([]float64, len(lineSizes))
 	}
-	// One pass per workload: the trace is generated once and replayed
-	// through a fresh engine per grid cell; workloads run concurrently.
 	profiles := ibsProfiles()
-	per, err := mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) ([][]float64, error) {
-		cell := make([][]float64, len(depths))
-		for di, d := range depths {
-			cell[di] = make([]float64, len(lineSizes))
-			for li, l := range lineSizes {
+	per, err := mapBanks(profiles, opt, func() ([]fetch.Engine, error) {
+		engines := make([]fetch.Engine, 0, len(depths)*len(lineSizes))
+		for _, d := range depths {
+			for _, l := range lineSizes {
 				e, err := mk(l, d)
 				if err != nil {
 					return nil, err
 				}
-				cell[di][li] = fetch.Run(e, refs).CPIinstr()
+				engines = append(engines, e)
 			}
 		}
-		return cell, nil
+		return engines, nil
 	})
 	if err != nil {
 		return grid, err
 	}
-	for _, cell := range per {
+	for _, bank := range per {
+		k := 0
 		for di := range depths {
 			for li := range lineSizes {
-				grid.CPI[di][li] += cell[di][li] / float64(len(profiles))
+				grid.CPI[di][li] += bank[k].CPIinstr() / float64(len(profiles))
+				k++
 			}
 		}
 	}
@@ -440,29 +459,28 @@ func Table8(opt Options) (*Table8Result, error) {
 		res.Rows[i].Lines = d
 	}
 	profiles := ibsProfiles()
-	per, err := mapTraces(profiles, opt, func(p synth.Profile, refs []trace.Ref) ([][2]float64, error) {
-		out := make([][2]float64, len(depths))
-		for i, d := range depths {
+	per, err := mapBanks(profiles, opt, func() ([]fetch.Engine, error) {
+		engines := make([]fetch.Engine, 0, 2*len(depths))
+		for _, d := range depths {
 			e16, err := fetch.NewStream(baseL1WithLine(16), memsys.Transfer{Latency: 6, BytesPerCycle: 16}, d)
 			if err != nil {
 				return nil, err
 			}
-			out[i][0] = fetch.Run(e16, refs).CPIinstr()
 			e32, err := fetch.NewStream(baseL1WithLine(32), memsys.Transfer{Latency: 6, BytesPerCycle: 32}, d)
 			if err != nil {
 				return nil, err
 			}
-			out[i][1] = fetch.Run(e32, refs).CPIinstr()
+			engines = append(engines, e16, e32)
 		}
-		return out, nil
+		return engines, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, out := range per {
+	for _, bank := range per {
 		for i := range depths {
-			res.Rows[i].CPI16 += out[i][0] / float64(len(profiles))
-			res.Rows[i].CPI32 += out[i][1] / float64(len(profiles))
+			res.Rows[i].CPI16 += bank[2*i].CPIinstr() / float64(len(profiles))
+			res.Rows[i].CPI32 += bank[2*i+1].CPIinstr() / float64(len(profiles))
 		}
 	}
 	return res, nil

@@ -71,7 +71,13 @@ func Run(e Engine, refs []trace.Ref) Result {
 	return e.Result()
 }
 
-// RunSource drains src through e.
+// RunSource drains src through e until the source stops. A Source stops for
+// two distinct reasons and the error return separates them: err == nil means
+// clean end-of-stream and the Result is a complete replay; err != nil (it is
+// exactly src.Err()) means the stream failed mid-way — a truncated or corrupt
+// trace file, an I/O fault — and the Result covers only the prefix consumed
+// before the fault. Callers must never treat a Result returned alongside a
+// non-nil error as a finished simulation.
 func RunSource(e Engine, src trace.Source) (Result, error) {
 	for {
 		r, ok := src.Next()
@@ -165,6 +171,17 @@ func (b *Blocking) Result() Result { return b.res }
 
 // Cache exposes the underlying L1 for inspection in tests and reports.
 func (b *Blocking) Cache() *cache.Cache { return b.l1 }
+
+// AnalyticConfig reports whether this engine's Result is analytically
+// reconstructible from a miss count (see BlockingResult) and returns the
+// geometry and link needed to do so. Only the plain blocking engine
+// qualifies: prefetching changes cache contents and sector caches stall for
+// offset-dependent partial fills, so both disable the shortcut. The fan-out
+// driver (internal/replay) uses this to simulate one engine per geometry and
+// derive every same-geometry, different-link cell from it.
+func (b *Blocking) AnalyticConfig() (geom cache.Config, link memsys.Transfer, ok bool) {
+	return b.l1.Config(), b.link, b.prefetch == 0 && b.subBlock == 0
+}
 
 // Bypass is the prefetch+bypass engine of Table 7: the missing line (and N
 // sequentially prefetched lines) stream into dual-ported bypass buffers, and

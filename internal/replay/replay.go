@@ -1,0 +1,133 @@
+// Package replay is the single-pass fan-out driver for the timing-accurate
+// fetch engines: it replays one workload's run-compacted instruction trace
+// through a whole bank of engine configurations, feeding every grid cell of
+// the paper's Tables 5-8 and Figures 6/7 from one pass over the trace per
+// engine — and often much less.
+//
+// Two accelerations stack:
+//
+//  1. Bulk replay. Each engine consumes the trace as sequential runs via its
+//     FetchRun fast path (O(resident lines) per run instead of
+//     O(instructions); see internal/fetch), which is where compaction pays.
+//
+//  2. Analytic dedup. Prefetch-free, non-sector blocking engines that share
+//     a cache geometry have identical miss streams — the memory link never
+//     influences cache contents — so the bank simulates one representative
+//     per geometry and reconstructs every other such engine's Result with
+//     fetch.BlockingResult (StallCycles = Misses x FillCycles). Figure 6's
+//     bandwidth sweep (5 links x 7 line sizes) collapses from 35 replays to
+//     7; the equivalence is exact (pinned by fetch's tests and the
+//     differential/fanout-tables check), so results stay byte-identical to
+//     the per-config path.
+//
+// Replay returns results positionally: results[i] is what
+// fetch.Run(engines[i], refs) would have produced on the expanded trace.
+package replay
+
+import (
+	"context"
+
+	"ibsim/internal/cache"
+	"ibsim/internal/fetch"
+	"ibsim/internal/trace"
+)
+
+// runChunk is the batch size handed to FetchRuns between context polls:
+// large enough to amortize dispatch, small enough to keep cancellation
+// latency well under a millisecond.
+const runChunk = 256
+
+// analyticKey groups engines whose miss behavior is fully determined by
+// cache geometry. cache.Config is comparable, so it can key a map directly.
+type analyticKey struct{ geom cache.Config }
+
+// Replay runs every engine in the bank over the same run-compacted
+// instruction trace and returns their Results in bank order. It honors ctx
+// between engines and periodically within each replay; on cancellation the
+// partial results are discarded and ctx.Err() is returned.
+func Replay(ctx context.Context, runs []trace.Run, engines []fetch.Engine) ([]fetch.Result, error) {
+	results := make([]fetch.Result, len(engines))
+
+	// Pass 1: group the analytic blocking engines by geometry; the first
+	// engine of each group is its representative and is simulated for real.
+	reps := make(map[analyticKey]int) // geometry -> representative engine index
+	derived := make([]int, 0)         // indices reconstructed from a representative
+	repOf := make(map[int]int)        // derived index -> representative index
+	for i, e := range engines {
+		b, ok := e.(*fetch.Blocking)
+		if !ok {
+			continue
+		}
+		geom, _, analytic := b.AnalyticConfig()
+		if !analytic {
+			continue
+		}
+		key := analyticKey{geom: geom}
+		if rep, seen := reps[key]; seen {
+			derived = append(derived, i)
+			repOf[i] = rep
+		} else {
+			reps[key] = i
+		}
+	}
+
+	// Pass 2: simulate every engine that is not derived.
+	for i, e := range engines {
+		if _, isDerived := repOf[i]; isDerived {
+			continue
+		}
+		if err := replayOne(ctx, runs, e); err != nil {
+			return nil, err
+		}
+		results[i] = e.Result()
+	}
+
+	// Pass 3: reconstruct the derived cells from their representatives.
+	for _, i := range derived {
+		rep := results[repOf[i]]
+		b := engines[i].(*fetch.Blocking)
+		geom, link, _ := b.AnalyticConfig()
+		results[i] = fetch.BlockingResult(rep.Instructions, rep.Misses, geom.LineSize, link)
+	}
+	return results, nil
+}
+
+// replayOne drains the compacted trace through one engine with periodic
+// context polls. Bulk engines consume the runs in batches (one dynamic
+// dispatch per batch); plain engines fall back to per-instruction Fetch.
+func replayOne(ctx context.Context, runs []trace.Run, e fetch.Engine) error {
+	if re, ok := e.(fetch.RunEngine); ok {
+		for start := 0; start < len(runs); start += runChunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			end := start + runChunk
+			if end > len(runs) {
+				end = len(runs)
+			}
+			re.FetchRuns(runs[start:end])
+		}
+		return nil
+	}
+	for i, r := range runs {
+		if i&(runChunk-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		addr := r.Start
+		for j := int64(0); j < r.Len; j++ {
+			e.Fetch(addr)
+			addr += trace.InstrBytes
+		}
+	}
+	return nil
+}
+
+// Refs is a convenience for callers holding an uncompacted instruction
+// trace: it compacts refs and fans them out. Prefer Replay with a memoized
+// []trace.Run (synth.DefaultStore.InstrRuns) when replaying the same
+// workload through several banks.
+func Refs(ctx context.Context, refs []trace.Ref, engines []fetch.Engine) ([]fetch.Result, error) {
+	return Replay(ctx, trace.Compact(refs), engines)
+}

@@ -40,8 +40,22 @@ type storeEntry struct {
 	refs  []trace.Ref
 	err   error
 
+	// runs is the run-length compaction of refs, computed lazily by the
+	// first InstrRuns caller and shared (read-only) from then on. It is
+	// assigned under the store mutex so the idle-byte accounting, which
+	// reads len(runs) under the same mutex, never races the compaction.
+	runsOnce sync.Once
+	runs     []trace.Run
+
 	refcount int
 	lastUse  int64 // store tick of the most recent acquire/release
+}
+
+// entryBytes is the retained size of an entry: the trace itself plus its
+// run-length compaction when one has been materialized. Callers must hold
+// the store mutex (runs is written under it).
+func entryBytes(e *storeEntry) int64 {
+	return int64(len(e.refs))*refBytes + int64(len(e.runs))*runBytes
 }
 
 // Stats reports store activity; Idle is the byte count held only by the
@@ -90,8 +104,12 @@ func NewStoreLimits(idleBudget, hardBudget int64) *Store {
 	return &Store{entries: make(map[storeKey]*storeEntry), idleBudget: idleBudget, hardBudget: hardBudget}
 }
 
-// refBytes is the retained size of one trace.Ref (16 bytes with padding).
-const refBytes = 16
+// refBytes is the retained size of one trace.Ref (16 bytes with padding);
+// runBytes that of one trace.Run (24 bytes with padding).
+const (
+	refBytes = 16
+	runBytes = 24
+)
 
 // Instr returns prof's instruction-only trace for (seed, n) — the same
 // stream InstrTrace generates — memoized across callers. The release
@@ -125,7 +143,7 @@ func (s *Store) InstrCtx(ctx context.Context, prof Profile, seed uint64, n int64
 		s.stats.Hits++
 		if e.refcount == 0 {
 			// Leaving the idle cache: its bytes are accounted to the holder.
-			s.idleBytes -= int64(len(e.refs)) * refBytes
+			s.idleBytes -= entryBytes(e)
 		}
 		e.refcount++
 		s.tick++
@@ -160,6 +178,39 @@ func (s *Store) InstrCtx(ctx context.Context, prof Profile, seed uint64, n int64
 		return nil, nil, e.err
 	}
 	return e.refs, s.releaseOnce(key, e), nil
+}
+
+// InstrRuns is InstrCtx returning, alongside the memoized trace, its
+// run-length compaction (trace.Compact), computed once per entry and shared
+// by every holder. Both slices are covered by the single release function
+// and MUST be treated as read-only. The fan-out replay driver
+// (internal/replay) is the intended consumer: several engine banks replay
+// the same workload without recompacting it.
+func (s *Store) InstrRuns(ctx context.Context, prof Profile, seed uint64, n int64) ([]trace.Ref, []trace.Run, func(), error) {
+	// Worst case (no sequentiality at all) the compaction retains one run
+	// per ref, so budget for both slices up front.
+	if s.hardBudget > 0 && n*(refBytes+runBytes) > s.hardBudget {
+		return nil, nil, nil, fmt.Errorf("%w: %d refs with runs need up to %d bytes, budget %d",
+			ErrOverBudget, n, n*(refBytes+runBytes), s.hardBudget)
+	}
+	refs, release, err := s.InstrCtx(ctx, prof, seed, n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	key := storeKey{prof: prof, seed: seed, n: n}
+	key.prof.Data = DataProfile{}
+	s.mu.Lock()
+	// The handle we hold pins the entry: it cannot be evicted or replaced
+	// while refcount > 0, so this lookup is exactly our entry.
+	e := s.entries[key]
+	s.mu.Unlock()
+	e.runsOnce.Do(func() {
+		runs := trace.Compact(refs)
+		s.mu.Lock()
+		e.runs = runs
+		s.mu.Unlock()
+	})
+	return refs, e.runs, release, nil
 }
 
 // Source returns a trace.Source over prof's instruction stream for
@@ -210,7 +261,7 @@ func (s *Store) release(key storeKey, e *storeEntry) {
 	}
 	s.tick++
 	e.lastUse = s.tick
-	s.idleBytes += int64(len(e.refs)) * refBytes
+	s.idleBytes += entryBytes(e)
 	s.evictLocked()
 }
 
@@ -231,7 +282,7 @@ func (s *Store) evictLocked() {
 		if victim == nil {
 			return
 		}
-		s.idleBytes -= int64(len(victim.refs)) * refBytes
+		s.idleBytes -= entryBytes(victim)
 		delete(s.entries, victimKey)
 		s.stats.Evictions++
 	}

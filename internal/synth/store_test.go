@@ -290,3 +290,95 @@ func TestStoreConcurrentAcquireSharesOneGeneration(t *testing.T) {
 		t.Fatalf("stats = %+v, want exactly 1 generation", st)
 	}
 }
+
+func TestStoreInstrRuns(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultIdleBudget)
+	refs, runs, release, err := s.InstrRuns(context.Background(), p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Compact(refs)
+	if len(runs) != len(want) {
+		t.Fatalf("store compaction has %d runs, trace.Compact %d", len(runs), len(want))
+	}
+	for i := range runs {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d: store %+v != Compact %+v", i, runs[i], want[i])
+		}
+	}
+	// A second acquire shares both memoized slices.
+	refs2, runs2, release2, err := s.InstrRuns(context.Background(), p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &refs2[0] != &refs[0] || &runs2[0] != &runs[0] {
+		t.Fatal("second InstrRuns did not return the memoized slices")
+	}
+	// Plain Instr on the same key shares the entry too.
+	refs3, release3, err := s.Instr(p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &refs3[0] != &refs[0] {
+		t.Fatal("Instr after InstrRuns did not share the entry")
+	}
+	release()
+	release2()
+	release3()
+	// Idle accounting covers both the trace and its compaction.
+	wantIdle := int64(len(refs))*refBytes + int64(len(runs))*runBytes
+	if got := s.Stats().IdleBytes; got != wantIdle {
+		t.Fatalf("idle bytes %d, want %d (refs+runs)", got, wantIdle)
+	}
+}
+
+func TestStoreInstrRunsHardBudget(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough for the refs alone but not refs+runs in the worst case.
+	s := NewStoreLimits(DefaultIdleBudget, 5000*refBytes)
+	if _, _, _, err := s.InstrRuns(context.Background(), p, 0, 5000); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("err = %v, want ErrOverBudget", err)
+	}
+	if _, release, err := s.Instr(p, 0, 5000); err != nil {
+		t.Fatalf("Instr within budget failed: %v", err)
+	} else {
+		release()
+	}
+}
+
+func TestStoreInstrRunsConcurrent(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultIdleBudget)
+	const workers = 8
+	got := make([][]trace.Run, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, runs, release, err := s.InstrRuns(context.Background(), p, 3, 4000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[w] = runs
+			release()
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if len(got[w]) == 0 || &got[w][0] != &got[0][0] {
+			t.Fatalf("worker %d got a different runs slice", w)
+		}
+	}
+}

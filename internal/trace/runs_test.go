@@ -1,0 +1,441 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ibsim/internal/xrand"
+)
+
+// randomInstrTrace builds an instruction-heavy trace with sequential runs
+// broken by jumps and domain switches — the structure Compact exploits.
+func randomInstrTrace(rng *xrand.Source, n int) []Ref {
+	refs := make([]Ref, 0, n)
+	addr := uint64(0x10000)
+	dom := User
+	for len(refs) < n {
+		if rng.Bool(0.1) {
+			addr = rng.Uint64() >> rng.Intn(40) &^ 3
+		}
+		if rng.Bool(0.02) {
+			dom = Domain(rng.Intn(int(NumDomains)))
+		}
+		if rng.Bool(0.05) {
+			refs = append(refs, Ref{Addr: rng.Uint64(), Kind: Kind(1 + rng.Intn(2)), Domain: dom})
+			continue
+		}
+		refs = append(refs, Ref{Addr: addr, Kind: IFetch, Domain: dom})
+		addr += InstrBytes
+	}
+	return refs
+}
+
+func instrOnly(refs []Ref) []Ref {
+	out := make([]Ref, 0, len(refs))
+	for _, r := range refs {
+		if r.Kind == IFetch {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestCompactBasic(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x1000, Kind: IFetch, Domain: User},
+		{Addr: 0x1004, Kind: IFetch, Domain: User},
+		{Addr: 0x1008, Kind: IFetch, Domain: User},
+		{Addr: 0x2000, Kind: DRead, Domain: User}, // ignored
+		{Addr: 0x100c, Kind: IFetch, Domain: User},
+		{Addr: 0x4000, Kind: IFetch, Domain: User},   // jump
+		{Addr: 0x4004, Kind: IFetch, Domain: Kernel}, // domain switch
+	}
+	runs := Compact(refs)
+	want := []Run{
+		{Start: 0x1000, Len: 4, Domain: User},
+		{Start: 0x4000, Len: 1, Domain: User},
+		{Start: 0x4004, Len: 1, Domain: Kernel},
+	}
+	if len(runs) != len(want) {
+		t.Fatalf("got %d runs %v, want %d", len(runs), runs, len(want))
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Errorf("run %d: got %+v, want %+v", i, runs[i], want[i])
+		}
+	}
+}
+
+// A run never wraps the address space: the last instructions below 2^64 end
+// the run so Start+Len*InstrBytes stays representable.
+func TestCompactAddressSpaceWrap(t *testing.T) {
+	top := ^uint64(0) - 2*InstrBytes + 1
+	refs := []Ref{
+		{Addr: top, Kind: IFetch},
+		{Addr: top + InstrBytes, Kind: IFetch},
+		{Addr: 0, Kind: IFetch}, // wrapped: must start a fresh run
+		{Addr: InstrBytes, Kind: IFetch},
+	}
+	runs := Compact(refs)
+	for _, r := range runs {
+		if r.End() <= r.Start && r.End() != 0 { // End()==0 marks a run ending exactly at the top
+			t.Fatalf("run %+v wraps the address space", r)
+		}
+		if last := r.Start + uint64(r.Len-1)*InstrBytes; last < r.Start {
+			t.Fatalf("run %+v has wrapping instructions", r)
+		}
+	}
+	if got := Expand(runs); len(got) != len(refs) {
+		t.Fatalf("expand lost refs: %d vs %d", len(got), len(refs))
+	}
+}
+
+// Property: Expand(Compact(refs)) is exactly the instruction subsequence.
+func TestCompactExpandRoundTrip(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 20; trial++ {
+		refs := randomInstrTrace(rng, 2000)
+		runs := Compact(refs)
+		got := Expand(runs)
+		want := instrOnly(refs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d refs, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d ref %d: got %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+		// Runs must be maximal: consecutive runs never merge.
+		for i := 1; i < len(runs); i++ {
+			if runs[i].Start == runs[i-1].End() && runs[i].Domain == runs[i-1].Domain && runs[i-1].End() != 0 {
+				t.Fatalf("trial %d: runs %d,%d not maximal: %+v %+v", trial, i-1, i, runs[i-1], runs[i])
+			}
+		}
+	}
+}
+
+func TestRunSourceMatchesExpand(t *testing.T) {
+	rng := xrand.New(7)
+	refs := randomInstrTrace(rng, 3000)
+	runs := Compact(refs)
+	want := Expand(runs)
+	src := NewRunSource(runs)
+	for i, w := range want {
+		got, ok := src.Next()
+		if !ok {
+			t.Fatalf("source ended at %d, want %d refs", i, len(want))
+		}
+		if got != w {
+			t.Fatalf("ref %d: got %+v, want %+v", i, got, w)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source yielded past the end")
+	}
+	if src.Err() != nil {
+		t.Fatalf("Err: %v", src.Err())
+	}
+	src.Reset()
+	if got, ok := src.Next(); !ok || got != want[0] {
+		t.Fatalf("after Reset: got %+v ok=%v", got, ok)
+	}
+}
+
+func TestSummarizeRuns(t *testing.T) {
+	runs := []Run{
+		{Start: 0, Len: 1},
+		{Start: 0x100, Len: 3},
+		{Start: 0x200, Len: 8},
+		{Start: 0x300, Len: 4},
+	}
+	st := SummarizeRuns(runs)
+	if st.Instructions != 16 || st.Runs != 4 || st.MaxLen != 8 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.MeanLen != 4 {
+		t.Errorf("MeanLen = %v, want 4", st.MeanLen)
+	}
+	if st.MedianLen != 3.5 { // sorted lens 1,3,4,8 -> (3+4)/2
+		t.Errorf("MedianLen = %v, want 3.5", st.MedianLen)
+	}
+	if st.CompactionRatio() != 4 {
+		t.Errorf("CompactionRatio = %v, want 4", st.CompactionRatio())
+	}
+	if z := SummarizeRuns(nil); z.CompactionRatio() != 0 || z.Runs != 0 {
+		t.Errorf("empty stats: %+v", z)
+	}
+}
+
+// CompactAppend with a pre-sized destination must not allocate: it is the
+// sweep/replay hot path.
+func TestCompactAppendZeroAlloc(t *testing.T) {
+	rng := xrand.New(99)
+	refs := randomInstrTrace(rng, 10000)
+	dst := make([]Run, 0, len(refs))
+	allocs := testing.AllocsPerRun(10, func() {
+		dst = CompactAppend(dst[:0], refs)
+	})
+	if allocs != 0 {
+		t.Fatalf("CompactAppend allocated %v times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkCompactAppend(b *testing.B) {
+	rng := xrand.New(1)
+	refs := randomInstrTrace(rng, 1<<20)
+	dst := make([]Run, 0, len(refs))
+	b.SetBytes(int64(len(refs)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = CompactAppend(dst[:0], refs)
+	}
+}
+
+// --- run-length codec ---
+
+func testRuns(t *testing.T, n int) []Run {
+	t.Helper()
+	rng := xrand.New(uint64(n))
+	runs := Compact(randomInstrTrace(rng, n))
+	if len(runs) < 2 {
+		t.Fatalf("degenerate test trace: %d runs", len(runs))
+	}
+	return runs
+}
+
+func TestRunCodecRoundTrip(t *testing.T) {
+	runs := testRuns(t, 5000)
+	var buf bytes.Buffer
+	n, err := EncodeRuns(&buf, runs)
+	if err != nil || n != uint64(len(runs)) {
+		t.Fatalf("EncodeRuns: n=%d err=%v", n, err)
+	}
+	got, err := DecodeRuns(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeRuns: %v", err)
+	}
+	if len(got) != len(runs) {
+		t.Fatalf("got %d runs, want %d", len(got), len(runs))
+	}
+	for i := range runs {
+		if got[i] != runs[i] {
+			t.Fatalf("run %d: got %+v, want %+v", i, got[i], runs[i])
+		}
+	}
+}
+
+// Decode expands a run-length stream transparently: per-ref consumers see the
+// identical instruction stream.
+func TestRunCodecTransparentExpansion(t *testing.T) {
+	runs := testRuns(t, 5000)
+	var buf bytes.Buffer
+	if _, err := EncodeRuns(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	refs, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	want := Expand(runs)
+	if len(refs) != len(want) {
+		t.Fatalf("expanded to %d refs, want %d", len(refs), len(want))
+	}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Fatalf("ref %d: got %+v, want %+v", i, refs[i], want[i])
+		}
+	}
+}
+
+func TestRunCodecSeekerSelfDescribing(t *testing.T) {
+	runs := testRuns(t, 3000)
+	var f seekBuffer
+	n, err := EncodeRunsSeeker(&f, runs)
+	if err != nil || n != uint64(len(runs)) {
+		t.Fatalf("EncodeRunsSeeker: n=%d err=%v", n, err)
+	}
+	tr, err := NewReader(bytes.NewReader(f.buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Runs() {
+		t.Fatal("reader does not report a run-length stream")
+	}
+	// Both views must verify the checksum trailer at end of stream.
+	got, complete, err := DecodeRunsSalvage(bytes.NewReader(f.buf))
+	if err != nil || !complete {
+		t.Fatalf("DecodeRunsSalvage: complete=%v err=%v", complete, err)
+	}
+	if len(got) != len(runs) {
+		t.Fatalf("got %d runs, want %d", len(got), len(runs))
+	}
+	refs, complete, err := DecodeSalvage(bytes.NewReader(f.buf))
+	if err != nil || !complete {
+		t.Fatalf("DecodeSalvage on run file: complete=%v err=%v", complete, err)
+	}
+	if want := Expand(runs); len(refs) != len(want) {
+		t.Fatalf("salvaged %d refs, want %d", len(refs), len(want))
+	}
+}
+
+// DecodeRuns on a per-reference file compacts it, so callers are agnostic to
+// the on-disk representation.
+func TestDecodeRunsFromRefFile(t *testing.T) {
+	rng := xrand.New(17)
+	refs := randomInstrTrace(rng, 4000)
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, NewSliceSource(refs)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRuns(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeRuns: %v", err)
+	}
+	want := Compact(refs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d runs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Truncated run files salvage the valid prefix with a typed error, through
+// both the run view and the expanding per-ref view.
+func TestRunCodecSalvageTruncation(t *testing.T) {
+	runs := testRuns(t, 3000)
+	var f seekBuffer
+	if _, err := EncodeRunsSeeker(&f, runs); err != nil {
+		t.Fatal(err)
+	}
+	cut := f.buf[:len(f.buf)*2/3]
+
+	got, complete, err := DecodeRunsSalvage(bytes.NewReader(cut))
+	if complete || !errors.Is(err, ErrTruncated) {
+		t.Fatalf("run salvage: complete=%v err=%v, want ErrTruncated", complete, err)
+	}
+	if len(got) == 0 || len(got) >= len(runs) {
+		t.Fatalf("salvaged %d of %d runs", len(got), len(runs))
+	}
+	for i := range got {
+		if got[i] != runs[i] {
+			t.Fatalf("salvaged run %d: got %+v, want %+v", i, got[i], runs[i])
+		}
+	}
+
+	refs, complete, err := DecodeSalvage(bytes.NewReader(cut))
+	if complete || !errors.Is(err, ErrTruncated) {
+		t.Fatalf("ref salvage: complete=%v err=%v, want ErrTruncated", complete, err)
+	}
+	want := Expand(runs)
+	for i := range refs {
+		if refs[i] != want[i] {
+			t.Fatalf("salvaged ref %d: got %+v, want %+v", i, refs[i], want[i])
+		}
+	}
+}
+
+// A bit flip in a run record's length varint is caught by the checksum even
+// when it stays structurally decodable.
+func TestRunCodecChecksumCatchesBitFlip(t *testing.T) {
+	runs := testRuns(t, 2000)
+	var f seekBuffer
+	if _, err := EncodeRunsSeeker(&f, runs); err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < 8; bit++ {
+		mut := append([]byte(nil), f.buf...)
+		mut[headerSize+3] ^= 1 << bit
+		_, complete, err := DecodeRunsSalvage(bytes.NewReader(mut))
+		if complete && err == nil {
+			t.Fatalf("bit %d flip went undetected", bit)
+		}
+	}
+}
+
+func TestRunWriterRejectsInvalidRuns(t *testing.T) {
+	cases := []Run{
+		{Start: 0x1000, Len: 0},                     // empty
+		{Start: 0x1000, Len: -3},                    // negative
+		{Start: 0x1000, Len: maxRunLen + 1},         // absurd
+		{Start: 0x1000, Len: 1, Domain: NumDomains}, // bad domain
+		{Start: ^uint64(0) - InstrBytes, Len: 2},    // wraps
+	}
+	for i, r := range cases {
+		w, err := NewRunWriter(&bytes.Buffer{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.PutRun(r); err == nil {
+			t.Errorf("case %d: PutRun(%+v) accepted", i, r)
+		}
+	}
+}
+
+func TestCodecModeGuards(t *testing.T) {
+	rw, err := NewRunWriter(&bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Put(Ref{Addr: 4, Kind: IFetch}); err == nil {
+		t.Error("Put accepted on a run-length writer")
+	}
+	w, err := NewWriter(&bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.PutRun(Run{Start: 4, Len: 1}); err == nil {
+		t.Error("PutRun accepted on a per-reference writer")
+	}
+
+	// NextRun on a per-reference stream fails rather than misreads.
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, NewSliceSource(seqRefs(4))); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.NextRun(); ok || tr.Err() == nil {
+		t.Error("NextRun succeeded on a per-reference stream")
+	}
+
+	// NextRun mid-expansion fails: the partially consumed run is unrecoverable.
+	var rbuf bytes.Buffer
+	if _, err := EncodeRuns(&rbuf, []Run{{Start: 0x1000, Len: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := NewReader(bytes.NewReader(rbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr2.Next(); !ok {
+		t.Fatal("Next failed on run stream")
+	}
+	if _, ok := tr2.NextRun(); ok || tr2.Err() == nil {
+		t.Error("NextRun succeeded mid-expansion")
+	}
+}
+
+// A corrupt zero run length is rejected as ErrCorrupt, and an enormous
+// declared length cannot force unbounded expansion work.
+func TestRunCodecHostileLength(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := EncodeRuns(&buf, []Run{{Start: 0x1000, Len: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Record layout: tag | uvarint(delta=0x1000) | uvarint(len=1). The length
+	// byte is the last; zero it.
+	mut := append([]byte(nil), data...)
+	mut[len(mut)-1] = 0
+	_, err := DecodeRuns(bytes.NewReader(mut))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero-length run: %v, want ErrCorrupt", err)
+	}
+}
