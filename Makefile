@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check chaos bench microbench vet cover tables extensions calibration examples clean
+.PHONY: all build test test-short race check chaos serve bench microbench vet cover tables extensions calibration examples clean
 
 all: build vet test race check
 
@@ -31,13 +31,21 @@ check: vet
 	$(GO) run ./cmd/ibscheck -n 200000
 
 # Seeded fault-injection (chaos) suite under the race detector: trace-codec
-# corruption contracts, store budget fallback, worker panic isolation, and
-# the ibstables interrupt/resume test.
+# corruption contracts, store budget fallback, worker panic isolation, the
+# ibstables interrupt/resume test, the service admission/degradation tests,
+# and the in-process server chaos scenarios (slow-loris, cancellation,
+# over-budget degradation, handler panic).
 chaos:
-	$(GO) test -race ./internal/fault ./internal/atomicio ./internal/manifest
-	$(GO) test -race -run 'Chaos|Robustness|Resilience|Worker|Salvage|Interrupt|Timeout' \
-		./internal/trace ./internal/check ./internal/experiments ./cmd/ibstables
+	$(GO) test -race ./internal/fault ./internal/atomicio ./internal/manifest \
+		./internal/server ./internal/server/client ./cmd/ibsimd
+	$(GO) test -race -run 'Chaos|Robustness|Resilience|Worker|Salvage|Interrupt|Timeout|Stress' \
+		./internal/trace ./internal/check ./internal/experiments \
+		./internal/synth ./cmd/ibstables
 	$(GO) run -race ./cmd/ibscheck -faults -o ""
+
+# Run the simulation service on the default loopback address.
+serve:
+	$(GO) run ./cmd/ibsimd
 
 # Benchmark-regression run: times the pinned stages plus the Figure 3+4
 # sweep-vs-per-config and Tables 5-8 + Figures 6/7 fanout-vs-per-config

@@ -16,6 +16,10 @@
 // aborting the rest, and with -manifest every completed exhibit is
 // checkpointed atomically so an interrupted run resumes where it stopped
 // and produces byte-identical final output.
+//
+// Exit codes are typed so orchestrators can tell failure classes apart:
+// 0 success, 1 exhibit failure, 2 usage error, 124 every failure was a
+// per-exhibit -timeout expiry, 130 interrupted by SIGINT/SIGTERM.
 package main
 
 import (
@@ -36,250 +40,32 @@ import (
 	"ibsim/internal/manifest"
 )
 
-// renderer produces one exhibit's text.
-type renderer func(ibsim.Options) (string, error)
-
-// exhibits maps experiment names to their runners, in paper order, followed
-// by the extension/ablation studies (not in the paper; run with
-// -experiment <name> or -extensions).
-var exhibitOrder = []string{
-	"table1", "table2", "table3", "table4", "figure1", "figure2",
-	"table5", "figure3", "figure4", "figure5", "figure6",
-	"table6", "table7", "table8", "figure7",
-}
-
-// extensionOrder lists the beyond-the-paper studies.
-var extensionOrder = []string{
-	"victim", "multistream", "issuewidth", "tlb", "placement",
-	"subblock", "pagepolicy", "replacement", "methodology", "sampling",
-	"cml", "unifiedl2", "assoclatency", "interleave",
-	"speccontrast", "dualport", "writebuffer", "predict",
-}
-
-var exhibits = map[string]renderer{
-	"table1": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Table1(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"table2": func(ibsim.Options) (string, error) { return ibsim.Table2(), nil },
-	"table3": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Table3(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"table4": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Table4(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"table5": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Table5(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"table6": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Table6(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"table7": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Table7(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"table8": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Table8(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"figure1": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Figure1(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"figure2": func(ibsim.Options) (string, error) { return ibsim.Figure2(), nil },
-	"figure3": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Figure3(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"figure4": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Figure4(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"figure5": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Figure5(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"figure6": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Figure6(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"figure7": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.Figure7(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"victim": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionVictim(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"multistream": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionMultiStream(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"issuewidth": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionIssueWidth(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"tlb": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionTLB(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"placement": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionPlacement(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"subblock": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.AblationSubBlock(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"pagepolicy": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.AblationPagePolicy(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"replacement": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.AblationReplacement(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"methodology": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.MethodologyValidation(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"sampling": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.SamplingStudy(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"cml": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionCML(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"unifiedl2": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionUnifiedL2(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"assoclatency": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionAssocLatency(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"interleave": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionInterleave(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"speccontrast": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.SPECContrast(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"dualport": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionDualPort(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"writebuffer": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.AblationWriteBuffer(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-	"predict": func(o ibsim.Options) (string, error) {
-		r, err := ibsim.ExtensionPredict(o)
-		if err != nil {
-			return "", err
-		}
-		return r.Render(), nil
-	},
-}
+// Typed exit codes. exitTimeout follows the timeout(1) convention (124);
+// exitInterrupt the shell's 128+SIGINT.
+const (
+	exitOK        = 0
+	exitFailure   = 1
+	exitUsage     = 2
+	exitTimeout   = 124
+	exitInterrupt = 130
+)
 
 func main() {
 	os.Exit(run())
+}
+
+// classifyExit folds the per-exhibit outcome lists into the process exit
+// code: any hard failure wins over timeouts (the run is broken, not merely
+// slow), timeouts alone report exitTimeout, otherwise success.
+func classifyExit(failed, timedOut []string) int {
+	switch {
+	case len(failed) > 0:
+		return exitFailure
+	case len(timedOut) > 0:
+		return exitTimeout
+	default:
+		return exitOK
+	}
 }
 
 // run carries main's body so profile-writing defers fire before exit.
@@ -305,12 +91,12 @@ func run() int {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ibstables: -cpuprofile: %v\n", err)
-			return 2
+			return exitUsage
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "ibstables: -cpuprofile: %v\n", err)
-			return 2
+			return exitUsage
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -328,27 +114,11 @@ func run() int {
 			}
 		}()
 	}
-	if *chart {
-		exhibits["figure1"] = func(o ibsim.Options) (string, error) {
-			r, err := ibsim.Figure1(o)
-			if err != nil {
-				return "", err
-			}
-			return r.RenderChart(), nil
-		}
-		exhibits["figure7"] = func(o ibsim.Options) (string, error) {
-			r, err := ibsim.Figure7(o)
-			if err != nil {
-				return "", err
-			}
-			return r.RenderChart(), nil
-		}
-	}
 
 	opt := ibsim.Options{Instructions: *n, Trials: *trials, Timeout: *timeout}
-	names := exhibitOrder
+	names := ibsim.ExhibitNames()
 	if *ext {
-		names = append(append([]string{}, exhibitOrder...), extensionOrder...)
+		names = append(names, ibsim.ExtensionNames()...)
 	}
 	if *which != "all" {
 		names = nil
@@ -357,16 +127,16 @@ func run() int {
 			if name == "" {
 				continue
 			}
-			if _, ok := exhibits[name]; !ok {
+			if !ibsim.IsExhibit(name) {
 				fmt.Fprintf(os.Stderr, "ibstables: unknown experiment %q (have %s; %s; all)\n",
-					raw, strings.Join(exhibitOrder, ", "), strings.Join(extensionOrder, ", "))
-				return 2
+					raw, strings.Join(ibsim.ExhibitNames(), ", "), strings.Join(ibsim.ExtensionNames(), ", "))
+				return exitUsage
 			}
 			names = append(names, name)
 		}
 		if len(names) == 0 {
 			fmt.Fprintln(os.Stderr, "ibstables: -experiment names no exhibit")
-			return 2
+			return exitUsage
 		}
 	}
 
@@ -379,7 +149,7 @@ func run() int {
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ibstables: -manifest: %v\n", err)
-			return 2
+			return exitUsage
 		}
 		if resumed > 0 {
 			fmt.Fprintf(os.Stderr, "ibstables: resuming: %d exhibit(s) already complete in %s\n", resumed, *manifestDir)
@@ -387,7 +157,7 @@ func run() int {
 	}
 
 	var outputs []string
-	var failed []string
+	var failed, timedOut []string
 	for _, name := range names {
 		if ctx.Err() != nil {
 			return interrupted(name, man != nil)
@@ -410,20 +180,23 @@ func run() int {
 		}
 		eopt := opt
 		eopt.Context = ectx
-		out, err := exhibits[name](eopt)
+		out, err := ibsim.RenderExhibit(name, eopt, *chart)
 		cancel()
 		if err != nil {
 			if ctx.Err() != nil {
 				return interrupted(name, man != nil)
 			}
 			// One bad exhibit — a worker panic, a timeout, a bad config —
-			// fails that exhibit only; the rest of the run proceeds.
-			reason := "failed"
+			// fails that exhibit only; the rest of the run proceeds. A
+			// deadline expiry is tracked apart from hard failures so the
+			// exit code can tell the classes apart.
 			if errors.Is(err, context.DeadlineExceeded) {
-				reason = fmt.Sprintf("exceeded its %v budget", *timeout)
+				fmt.Fprintf(os.Stderr, "ibstables: %s exceeded its %v budget: %v (continuing)\n", name, *timeout, err)
+				timedOut = append(timedOut, name)
+			} else {
+				fmt.Fprintf(os.Stderr, "ibstables: %s failed: %v (continuing)\n", name, err)
+				failed = append(failed, name)
 			}
-			fmt.Fprintf(os.Stderr, "ibstables: %s %s: %v (continuing)\n", name, reason, err)
-			failed = append(failed, name)
 			continue
 		}
 		if *csv {
@@ -432,7 +205,7 @@ func run() int {
 		if man != nil {
 			if err := man.Put(name, out); err != nil {
 				fmt.Fprintf(os.Stderr, "ibstables: checkpointing %s: %v\n", name, err)
-				return 1
+				return exitFailure
 			}
 		}
 		outputs = append(outputs, out)
@@ -441,18 +214,23 @@ func run() int {
 			fmt.Printf("[%s regenerated in %.1fs]\n\n", name, time.Since(start).Seconds())
 		}
 	}
-	if len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "ibstables: %d exhibit(s) failed: %s\n", len(failed), strings.Join(failed, ", "))
-		return 1
+	if len(failed)+len(timedOut) > 0 {
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "ibstables: %d exhibit(s) failed: %s\n", len(failed), strings.Join(failed, ", "))
+		}
+		if len(timedOut) > 0 {
+			fmt.Fprintf(os.Stderr, "ibstables: %d exhibit(s) timed out: %s\n", len(timedOut), strings.Join(timedOut, ", "))
+		}
+		return classifyExit(failed, timedOut)
 	}
 	if *outFile != "" {
 		data := []byte(strings.Join(outputs, "\n") + "\n")
 		if err := atomicio.WriteFile(*outFile, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "ibstables: -o: %v\n", err)
-			return 1
+			return exitFailure
 		}
 	}
-	return 0
+	return exitOK
 }
 
 // interrupted reports a SIGINT/SIGTERM shutdown and returns the
@@ -463,5 +241,5 @@ func interrupted(name string, hasManifest bool) int {
 		msg += "; completed exhibits are checkpointed — rerun with the same -manifest to resume"
 	}
 	fmt.Fprintln(os.Stderr, msg)
-	return 130
+	return exitInterrupt
 }

@@ -7,20 +7,21 @@ import (
 	"ibsim"
 )
 
-// Every name advertised in the order lists must have a runner, and vice
-// versa.
-func TestExhibitMapComplete(t *testing.T) {
+// Every name advertised in the order lists must resolve in the registry,
+// with no duplicates, and the registry must not hide names the CLI cannot
+// reach.
+func TestExhibitRegistryComplete(t *testing.T) {
 	advertised := map[string]bool{}
-	for _, name := range append(append([]string{}, exhibitOrder...), extensionOrder...) {
+	for _, name := range append(ibsim.ExhibitNames(), ibsim.ExtensionNames()...) {
 		if advertised[name] {
 			t.Errorf("duplicate exhibit name %q", name)
 		}
 		advertised[name] = true
-		if _, ok := exhibits[name]; !ok {
+		if !ibsim.IsExhibit(name) {
 			t.Errorf("exhibit %q advertised but has no runner", name)
 		}
 	}
-	for name := range exhibits {
+	for _, name := range ibsim.AllExhibitNames() {
 		if !advertised[name] {
 			t.Errorf("runner %q not reachable from any order list", name)
 		}
@@ -30,7 +31,7 @@ func TestExhibitMapComplete(t *testing.T) {
 // Descriptive exhibits run instantly and produce content.
 func TestDescriptiveExhibits(t *testing.T) {
 	for _, name := range []string{"table2", "figure2"} {
-		out, err := exhibits[name](ibsim.Options{})
+		out, err := ibsim.RenderExhibit(name, ibsim.Options{}, false)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -42,7 +43,7 @@ func TestDescriptiveExhibits(t *testing.T) {
 
 // A simulated exhibit runs end to end at a tiny budget.
 func TestSimulatedExhibitSmoke(t *testing.T) {
-	out, err := exhibits["table5"](ibsim.Options{Instructions: 50_000})
+	out, err := ibsim.RenderExhibit("table5", ibsim.Options{Instructions: 50_000}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,11 +55,11 @@ func TestSimulatedExhibitSmoke(t *testing.T) {
 // Determinism: the same exhibit at the same options renders identically.
 func TestExhibitDeterminism(t *testing.T) {
 	opt := ibsim.Options{Instructions: 50_000}
-	a, err := exhibits["table4"](opt)
+	a, err := ibsim.RenderExhibit("table4", opt, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := exhibits["table4"](opt)
+	b, err := ibsim.RenderExhibit("table4", opt, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,8 +68,50 @@ func TestExhibitDeterminism(t *testing.T) {
 	}
 }
 
+// The chart variants address the same exhibits but render differently.
+func TestExhibitChartVariant(t *testing.T) {
+	opt := ibsim.Options{Instructions: 30_000}
+	plain, err := ibsim.RenderExhibit("figure1", opt, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := ibsim.RenderExhibit("figure1", opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == chart {
+		t.Fatal("figure1 chart rendering identical to plain rendering")
+	}
+	// Chart mode on a chart-less exhibit falls back to the plain form.
+	a, err := ibsim.RenderExhibit("table2", opt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := ibsim.RenderExhibit("table2", opt, false); a != b {
+		t.Fatal("chart flag changed a chart-less exhibit")
+	}
+}
+
+// Exit codes classify failure modes: hard failures dominate timeouts.
+func TestClassifyExit(t *testing.T) {
+	cases := []struct {
+		failed, timedOut []string
+		want             int
+	}{
+		{nil, nil, exitOK},
+		{[]string{"table4"}, nil, exitFailure},
+		{nil, []string{"table4"}, exitTimeout},
+		{[]string{"table4"}, []string{"figure5"}, exitFailure},
+	}
+	for _, c := range cases {
+		if got := classifyExit(c.failed, c.timedOut); got != c.want {
+			t.Errorf("classifyExit(%v, %v) = %d, want %d", c.failed, c.timedOut, got, c.want)
+		}
+	}
+}
+
 func TestToCSV(t *testing.T) {
-	out, err := exhibits["table5"](ibsim.Options{Instructions: 30_000})
+	out, err := ibsim.RenderExhibit("table5", ibsim.Options{Instructions: 30_000}, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -146,8 +146,10 @@ func TestInterruptThenResumeByteIdentical(t *testing.T) {
 	}
 }
 
-// A per-exhibit timeout fails that exhibit (exit 1, reported) without
-// aborting the process wholesale.
+// A per-exhibit timeout fails that exhibit without aborting the process
+// wholesale, and the deadline expiry is reported with its own typed exit
+// code (124, the timeout(1) convention) instead of folding into the generic
+// error exit.
 func TestPerExhibitTimeout(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns a child run")
@@ -157,8 +159,8 @@ func TestPerExhibitTimeout(t *testing.T) {
 	cmd.Stderr = &stderr
 	cmd.Stdout = new(bytes.Buffer)
 	err := cmd.Run()
-	if code := exitCode(t, err); code != 1 {
-		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr.String())
+	if code := exitCode(t, err); code != 124 {
+		t.Fatalf("exit = %d, want 124; stderr:\n%s", code, stderr.String())
 	}
 	// table4 blew its budget; descriptive table2 still completed.
 	if !strings.Contains(stderr.String(), "table4 exceeded its 1ms budget") {

@@ -1,0 +1,127 @@
+package ibsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The exhibit registry: every paper table/figure and every
+// beyond-the-paper extension study, addressable by name. cmd/ibstables and
+// the ibsimd service layer (internal/server) are both thin wrappers over
+// RenderExhibit, so the CLI and the daemon cannot drift apart on what an
+// exhibit name means.
+
+// exhibitEntry couples an exhibit's text renderer with its optional
+// ASCII-chart variant (figure1/figure7 render as stacked bars in the
+// paper).
+type exhibitEntry struct {
+	render func(Options) (string, error)
+	chart  func(Options) (string, error)
+}
+
+// rendered adapts a (result, error) constructor pair to the registry's
+// renderer shape.
+func rendered[T interface{ Render() string }](r T, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
+// chartRendered is rendered for the chart-capable results.
+func chartRendered[T interface{ RenderChart() string }](r T, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.RenderChart(), nil
+}
+
+// exhibitOrder lists the paper exhibits in paper order.
+var exhibitOrder = []string{
+	"table1", "table2", "table3", "table4", "figure1", "figure2",
+	"table5", "figure3", "figure4", "figure5", "figure6",
+	"table6", "table7", "table8", "figure7",
+}
+
+// extensionOrder lists the beyond-the-paper studies in run order.
+var extensionOrder = []string{
+	"victim", "multistream", "issuewidth", "tlb", "placement",
+	"subblock", "pagepolicy", "replacement", "methodology", "sampling",
+	"cml", "unifiedl2", "assoclatency", "interleave",
+	"speccontrast", "dualport", "writebuffer", "predict",
+}
+
+var exhibitRegistry = map[string]exhibitEntry{
+	"table1":  {render: func(o Options) (string, error) { return rendered(Table1(o)) }},
+	"table2":  {render: func(Options) (string, error) { return Table2(), nil }},
+	"table3":  {render: func(o Options) (string, error) { return rendered(Table3(o)) }},
+	"table4":  {render: func(o Options) (string, error) { return rendered(Table4(o)) }},
+	"table5":  {render: func(o Options) (string, error) { return rendered(Table5(o)) }},
+	"table6":  {render: func(o Options) (string, error) { return rendered(Table6(o)) }},
+	"table7":  {render: func(o Options) (string, error) { return rendered(Table7(o)) }},
+	"table8":  {render: func(o Options) (string, error) { return rendered(Table8(o)) }},
+	"figure1": {render: func(o Options) (string, error) { return rendered(Figure1(o)) }, chart: func(o Options) (string, error) { return chartRendered(Figure1(o)) }},
+	"figure2": {render: func(Options) (string, error) { return Figure2(), nil }},
+	"figure3": {render: func(o Options) (string, error) { return rendered(Figure3(o)) }},
+	"figure4": {render: func(o Options) (string, error) { return rendered(Figure4(o)) }},
+	"figure5": {render: func(o Options) (string, error) { return rendered(Figure5(o)) }},
+	"figure6": {render: func(o Options) (string, error) { return rendered(Figure6(o)) }},
+	"figure7": {render: func(o Options) (string, error) { return rendered(Figure7(o)) }, chart: func(o Options) (string, error) { return chartRendered(Figure7(o)) }},
+
+	"victim":       {render: func(o Options) (string, error) { return rendered(ExtensionVictim(o)) }},
+	"multistream":  {render: func(o Options) (string, error) { return rendered(ExtensionMultiStream(o)) }},
+	"issuewidth":   {render: func(o Options) (string, error) { return rendered(ExtensionIssueWidth(o)) }},
+	"tlb":          {render: func(o Options) (string, error) { return rendered(ExtensionTLB(o)) }},
+	"placement":    {render: func(o Options) (string, error) { return rendered(ExtensionPlacement(o)) }},
+	"subblock":     {render: func(o Options) (string, error) { return rendered(AblationSubBlock(o)) }},
+	"pagepolicy":   {render: func(o Options) (string, error) { return rendered(AblationPagePolicy(o)) }},
+	"replacement":  {render: func(o Options) (string, error) { return rendered(AblationReplacement(o)) }},
+	"methodology":  {render: func(o Options) (string, error) { return rendered(MethodologyValidation(o)) }},
+	"sampling":     {render: func(o Options) (string, error) { return rendered(SamplingStudy(o)) }},
+	"cml":          {render: func(o Options) (string, error) { return rendered(ExtensionCML(o)) }},
+	"unifiedl2":    {render: func(o Options) (string, error) { return rendered(ExtensionUnifiedL2(o)) }},
+	"assoclatency": {render: func(o Options) (string, error) { return rendered(ExtensionAssocLatency(o)) }},
+	"interleave":   {render: func(o Options) (string, error) { return rendered(ExtensionInterleave(o)) }},
+	"speccontrast": {render: func(o Options) (string, error) { return rendered(SPECContrast(o)) }},
+	"dualport":     {render: func(o Options) (string, error) { return rendered(ExtensionDualPort(o)) }},
+	"writebuffer":  {render: func(o Options) (string, error) { return rendered(AblationWriteBuffer(o)) }},
+	"predict":      {render: func(o Options) (string, error) { return rendered(ExtensionPredict(o)) }},
+}
+
+// ExhibitNames returns the paper's tables and figures in paper order.
+func ExhibitNames() []string { return append([]string(nil), exhibitOrder...) }
+
+// ExtensionNames returns the beyond-the-paper extension/ablation studies in
+// their conventional run order.
+func ExtensionNames() []string { return append([]string(nil), extensionOrder...) }
+
+// AllExhibitNames returns every registered exhibit name, sorted.
+func AllExhibitNames() []string {
+	out := make([]string, 0, len(exhibitRegistry))
+	for name := range exhibitRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsExhibit reports whether name addresses a registered exhibit.
+func IsExhibit(name string) bool {
+	_, ok := exhibitRegistry[name]
+	return ok
+}
+
+// RenderExhibit runs the named exhibit at the given options and returns its
+// text rendering. chart selects the ASCII stacked-bar form for the exhibits
+// that have one (figure1, figure7); it is ignored for the rest. An unknown
+// name is an error.
+func RenderExhibit(name string, opt Options, chart bool) (string, error) {
+	e, ok := exhibitRegistry[name]
+	if !ok {
+		return "", fmt.Errorf("ibsim: unknown exhibit %q", name)
+	}
+	if chart && e.chart != nil {
+		return e.chart(opt)
+	}
+	return e.render(opt)
+}

@@ -44,6 +44,10 @@ func RunChaos(opt Options) ([]Result, error) {
 		{"chaos/write-fault-sticky", func() Result { return chaosWriteFault(refs) }},
 		{"chaos/over-budget-store", func() Result { return chaosOverBudget(prof, opt.Seed) }},
 		{"chaos/worker-panic", func() Result { return chaosWorkerPanic(opt) }},
+		{"chaos/server-slow-loris", func() Result { return chaosServerSlowLoris(prof, opt.Seed) }},
+		{"chaos/server-cancel", func() Result { return chaosServerCancel(prof, opt.Seed) }},
+		{"chaos/server-over-budget", func() Result { return chaosServerOverBudget(prof, opt.Seed) }},
+		{"chaos/server-panic", func() Result { return chaosServerPanic(prof, opt.Seed) }},
 	}
 	out := make([]Result, 0, len(scenarios))
 	for _, s := range scenarios {

@@ -18,6 +18,8 @@ func TestRunChaosAllPass(t *testing.T) {
 		"chaos/truncation", "chaos/bit-flip", "chaos/short-read",
 		"chaos/error-after-n", "chaos/write-fault-sticky",
 		"chaos/over-budget-store", "chaos/worker-panic",
+		"chaos/server-slow-loris", "chaos/server-cancel",
+		"chaos/server-over-budget", "chaos/server-panic",
 	}
 	if len(results) != len(want) {
 		t.Fatalf("%d scenarios, want %d", len(results), len(want))

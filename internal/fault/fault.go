@@ -13,6 +13,7 @@ package fault
 import (
 	"errors"
 	"io"
+	"time"
 
 	"ibsim/internal/xrand"
 )
@@ -49,6 +50,10 @@ type Plan struct {
 	FlipOffset int64
 	// FlipMask is XORed into the byte at FlipOffset; 0 disables flipping.
 	FlipMask byte
+	// Delay pauses every transfer for this duration before it moves —
+	// combined with ShortIO it models a slow-loris peer that trickles a
+	// stream byte by byte. 0 disables pacing.
+	Delay time.Duration
 }
 
 // err returns the armed injection error.
@@ -77,6 +82,9 @@ func NewReader(r io.Reader, p Plan) *Reader {
 func (f *Reader) Read(b []byte) (int, error) {
 	if len(b) == 0 {
 		return 0, nil
+	}
+	if f.p.Delay > 0 {
+		time.Sleep(f.p.Delay)
 	}
 	if f.p.Err != nil && f.off >= f.p.ErrAfter {
 		return 0, f.p.injected()
@@ -124,6 +132,9 @@ func NewWriter(w io.Writer, p Plan) *Writer {
 func (f *Writer) Write(b []byte) (int, error) {
 	written := 0
 	for written < len(b) {
+		if f.p.Delay > 0 {
+			time.Sleep(f.p.Delay)
+		}
 		if f.p.Err != nil && f.off >= f.p.ErrAfter {
 			return written, f.p.injected()
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 )
 
 func payload(n int) []byte {
@@ -173,5 +174,62 @@ func TestTruncateHelper(t *testing.T) {
 	}
 	if got := Truncate(in, 99); !bytes.Equal(got, in) {
 		t.Fatal("out-of-range Truncate altered data")
+	}
+}
+
+// Delay paces every read without altering the data, so a Delay+ShortIO
+// plan models a slow-loris peer: many tiny reads, each one late.
+func TestReaderDelayPacesReads(t *testing.T) {
+	in := payload(64)
+	const delay = 5 * time.Millisecond
+	r := NewReader(bytes.NewReader(in), Plan{ShortIO: true, Delay: delay, Seed: 3})
+	start := time.Now()
+	got, err := io.ReadAll(r)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, in) {
+		t.Fatal("delayed reader altered data")
+	}
+	// ShortIO caps reads at 3 bytes, so 64 bytes takes >= 22 reads; even
+	// counting only a loose lower bound of 10 delayed reads, the wall
+	// clock must reflect the pacing.
+	if min := 10 * delay; elapsed < min {
+		t.Fatalf("64 short-read bytes at %v/read took %v, want >= %v", delay, elapsed, min)
+	}
+}
+
+// Delay paces writes the same way, once per faulty chunk.
+func TestWriterDelayPacesWrites(t *testing.T) {
+	var out bytes.Buffer
+	const delay = 5 * time.Millisecond
+	w := NewWriter(&out, Plan{Delay: delay})
+	in := payload(16)
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := w.Write(in); err != nil {
+			t.Fatalf("Write %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	if want := bytes.Repeat(in, 4); !bytes.Equal(out.Bytes(), want) {
+		t.Fatal("delayed writer altered data")
+	}
+	if min := 4 * delay; elapsed < min {
+		t.Fatalf("4 delayed writes took %v, want >= %v", elapsed, min)
+	}
+}
+
+// A zero-length read never sleeps, so probing readers don't stall.
+func TestReaderDelaySkipsEmptyRead(t *testing.T) {
+	r := NewReader(bytes.NewReader(payload(4)), Plan{Delay: time.Hour})
+	start := time.Now()
+	n, err := r.Read(nil)
+	if n != 0 || err != nil {
+		t.Fatalf("Read(nil) = %d, %v", n, err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("zero-length read slept")
 	}
 }

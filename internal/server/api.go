@@ -1,0 +1,229 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"ibsim/internal/cache"
+	"ibsim/internal/fetch"
+	"ibsim/internal/memsys"
+)
+
+// The wire types of the v1 API, shared with the retrying client
+// (internal/server/client). All requests are JSON; all responses carry an
+// explicit Degraded marker so a reduced-fidelity answer can never be
+// mistaken for a full one.
+
+// CellSpec is one cache geometry of a sweep grid.
+type CellSpec struct {
+	// Sets is the number of sets; a power of two.
+	Sets int `json:"sets"`
+	// Assoc is the set associativity (>= 1).
+	Assoc int `json:"assoc"`
+}
+
+// SweepRequest asks for the exact per-cell LRU miss counts of a capacity ×
+// associativity grid over one workload's instruction trace — one
+// single-pass sweep (internal/sweep).
+type SweepRequest struct {
+	// Workload names a registered workload model (ibsim.Workloads()).
+	Workload string `json:"workload"`
+	// Seed offsets the workload's generation seed; 0 keeps the calibrated
+	// profile seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// Instructions is the trace length (default 2M, clamped to the
+	// server's maximum).
+	Instructions int64 `json:"instructions,omitempty"`
+	// LineSize is the grid's shared line size in bytes; a power of two.
+	LineSize int `json:"line_size"`
+	// Cells is the capacity × associativity grid.
+	Cells []CellSpec `json:"cells"`
+	// CountDistinct additionally counts distinct lines (compulsory
+	// misses).
+	CountDistinct bool `json:"count_distinct,omitempty"`
+	// TimeoutMillis bounds the request's wall-clock time; 0 uses the
+	// server default.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// CellResult is one grid cell's outcome.
+type CellResult struct {
+	Sets      int   `json:"sets"`
+	Assoc     int   `json:"assoc"`
+	SizeBytes int   `json:"size_bytes"`
+	Misses    int64 `json:"misses"`
+}
+
+// SweepResponse is the miss matrix of one sweep.
+type SweepResponse struct {
+	Workload     string       `json:"workload"`
+	Seed         uint64       `json:"seed"`
+	Instructions int64        `json:"instructions"`
+	LineSize     int          `json:"line_size"`
+	Accesses     int64        `json:"accesses"`
+	Distinct     int64        `json:"distinct,omitempty"`
+	Cells        []CellResult `json:"cells"`
+	// Degraded marks a reduced-fidelity answer (clamped scale or a
+	// streaming over-budget fallback); DegradedReason says why.
+	Degraded       bool    `json:"degraded"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// LinkSpec selects a memory link: either a named baseline or explicit
+// latency/bandwidth parameters.
+type LinkSpec struct {
+	// Name picks a baseline: "economy" (30 cycles, 4 B/cycle),
+	// "highperf" (12 cycles, 8 B/cycle), or "l1l2" (6 cycles, 16
+	// B/cycle). Empty uses the explicit parameters.
+	Name string `json:"name,omitempty"`
+	// Latency is the cycles until the first chunk arrives.
+	Latency int `json:"latency,omitempty"`
+	// BytesPerCycle is the transfer bandwidth.
+	BytesPerCycle int `json:"bytes_per_cycle,omitempty"`
+}
+
+// transfer resolves the spec to a memsys.Transfer.
+func (l LinkSpec) transfer() (memsys.Transfer, error) {
+	switch strings.ToLower(l.Name) {
+	case "economy":
+		return memsys.Economy().Memory, nil
+	case "highperf", "high-performance":
+		return memsys.HighPerformance().Memory, nil
+	case "l1l2":
+		return memsys.L1L2Link(), nil
+	case "":
+		t := memsys.Transfer{Latency: l.Latency, BytesPerCycle: l.BytesPerCycle}
+		if err := t.Validate(); err != nil {
+			return memsys.Transfer{}, err
+		}
+		return t, nil
+	default:
+		return memsys.Transfer{}, fmt.Errorf("unknown link name %q (have economy, highperf, l1l2)", l.Name)
+	}
+}
+
+// EngineSpec parameterizes one fetch engine of a replay bank.
+type EngineSpec struct {
+	// Kind selects the engine: "blocking" (default), "bypass", or
+	// "stream".
+	Kind string `json:"kind,omitempty"`
+	// Size, LineSize, Assoc describe the L1 I-cache geometry.
+	Size     int `json:"size"`
+	LineSize int `json:"line_size"`
+	Assoc    int `json:"assoc"`
+	// Link is the L1-to-next-level transfer.
+	Link LinkSpec `json:"link"`
+	// PrefetchLines enables sequential prefetch-on-miss (blocking and
+	// bypass engines).
+	PrefetchLines int `json:"prefetch_lines,omitempty"`
+	// Depth is the stream-buffer depth (stream engines; >= 1).
+	Depth int `json:"depth,omitempty"`
+}
+
+// build constructs the configured engine.
+func (e EngineSpec) build() (fetch.Engine, error) {
+	cfg := cache.Config{Size: e.Size, LineSize: e.LineSize, Assoc: e.Assoc}
+	link, err := e.Link.transfer()
+	if err != nil {
+		return nil, err
+	}
+	switch strings.ToLower(e.Kind) {
+	case "", "blocking":
+		return fetch.NewBlocking(cfg, link, e.PrefetchLines)
+	case "bypass":
+		return fetch.NewBypass(cfg, link, e.PrefetchLines)
+	case "stream":
+		return fetch.NewStream(cfg, link, e.Depth)
+	default:
+		return nil, fmt.Errorf("unknown engine kind %q (have blocking, bypass, stream)", e.Kind)
+	}
+}
+
+// ReplayRequest asks for one workload's trace to be fanned out through a
+// bank of fetch engines (internal/replay) and each engine's Result.
+type ReplayRequest struct {
+	Workload      string       `json:"workload"`
+	Seed          uint64       `json:"seed,omitempty"`
+	Instructions  int64        `json:"instructions,omitempty"`
+	Engines       []EngineSpec `json:"engines"`
+	TimeoutMillis int64        `json:"timeout_ms,omitempty"`
+}
+
+// EngineResult is one engine's accumulated counters, in bank order.
+type EngineResult struct {
+	Instructions int64   `json:"instructions"`
+	Misses       int64   `json:"misses"`
+	BufferHits   int64   `json:"buffer_hits,omitempty"`
+	StallCycles  int64   `json:"stall_cycles"`
+	CPI          float64 `json:"cpi"`
+	MPI          float64 `json:"mpi"`
+}
+
+// ReplayResponse is the bank's results in engine order.
+type ReplayResponse struct {
+	Workload       string         `json:"workload"`
+	Seed           uint64         `json:"seed"`
+	Instructions   int64          `json:"instructions"`
+	Results        []EngineResult `json:"results"`
+	Degraded       bool           `json:"degraded"`
+	DegradedReason string         `json:"degraded_reason,omitempty"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+}
+
+// ExhibitRequest parameterizes GET /v1/exhibit/{name}; the fields travel as
+// query parameters (n, seed, trials, chart, timeout_ms).
+type ExhibitRequest struct {
+	Name          string `json:"name"`
+	Instructions  int64  `json:"instructions,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+	Trials        int    `json:"trials,omitempty"`
+	Chart         bool   `json:"chart,omitempty"`
+	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+}
+
+// ExhibitResponse carries one rendered exhibit.
+type ExhibitResponse struct {
+	Name           string  `json:"name"`
+	Instructions   int64   `json:"instructions"`
+	Trials         int     `json:"trials,omitempty"`
+	Seed           uint64  `json:"seed"`
+	Text           string  `json:"text"`
+	Degraded       bool    `json:"degraded"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// ErrorBody is the structured error envelope every non-2xx v1 response
+// carries.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail classifies a failure. Kind is stable and machine-matchable:
+// "bad-request", "not-found", "queue-full", "queue-timeout", "deadline",
+// "worker-panic", "panic", "over-budget", "internal", "draining".
+type ErrorDetail struct {
+	Status            int    `json:"status"`
+	Kind              string `json:"kind"`
+	Message           string `json:"message"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
+}
+
+// canonicalKey hashes an endpoint plus its normalized (post-clamp) request
+// value into the singleflight key: two requests that would do identical
+// work share one execution, whatever their JSON field order or transport
+// differences.
+func canonicalKey(endpoint string, normalized any) string {
+	data, err := json.Marshal(normalized)
+	if err != nil {
+		// Normalized requests are plain structs; marshal cannot fail. Fall
+		// back to a never-matching key rather than conflating requests.
+		return fmt.Sprintf("%s:unhashable:%p", endpoint, &data)
+	}
+	sum := sha256.Sum256(append([]byte(endpoint+"\x00"), data...))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,259 @@
+// Package client is the retrying Go client for the ibsimd v1 API
+// (internal/server). It speaks the same wire types as the server and adds
+// the client half of the robustness contract: transient failures — 429
+// load shedding, 503 queue timeouts, dropped connections — are retried
+// with capped exponential backoff plus jitter, honoring the server's
+// Retry-After hint when one is present; structural failures (400, 404,
+// panics, deadline expiry) surface immediately as typed *APIError values.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"ibsim/internal/server"
+)
+
+// APIError is a structured v1 error response.
+type APIError struct {
+	Detail server.ErrorDetail
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ibsimd: %s (%d %s)", e.Detail.Message, e.Detail.Status, e.Detail.Kind)
+}
+
+// Temporary reports whether the failure is worth retrying.
+func (e *APIError) Temporary() bool {
+	switch e.Detail.Status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// Client calls an ibsimd server with retries. The zero value is not
+// usable; construct with New.
+type Client struct {
+	base                string
+	httpc               *http.Client
+	retries             int
+	baseDelay, maxDelay time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	// sleep is swappable for tests.
+	sleep func(context.Context, time.Duration) error
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// WithRetries sets the maximum retry count for transient failures
+// (default 4; 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base and cap of the exponential backoff schedule
+// (defaults 100ms / 5s).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.baseDelay, c.maxDelay = base, max }
+}
+
+// New returns a client for the server at base (e.g. "http://127.0.0.1:8347").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:      base,
+		httpc:     &http.Client{},
+		retries:   4,
+		baseDelay: 100 * time.Millisecond,
+		maxDelay:  5 * time.Second,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Sweep runs POST /v1/sweep.
+func (c *Client) Sweep(ctx context.Context, req server.SweepRequest) (*server.SweepResponse, error) {
+	var resp server.SweepResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/sweep", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Replay runs POST /v1/replay.
+func (c *Client) Replay(ctx context.Context, req server.ReplayRequest) (*server.ReplayResponse, error) {
+	var resp server.ReplayResponse
+	if err := c.call(ctx, http.MethodPost, "/v1/replay", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Exhibit runs GET /v1/exhibit/{name}.
+func (c *Client) Exhibit(ctx context.Context, req server.ExhibitRequest) (*server.ExhibitResponse, error) {
+	q := url.Values{}
+	if req.Instructions > 0 {
+		q.Set("n", strconv.FormatInt(req.Instructions, 10))
+	}
+	if req.Trials > 0 {
+		q.Set("trials", strconv.Itoa(req.Trials))
+	}
+	if req.Seed != 0 {
+		q.Set("seed", strconv.FormatUint(req.Seed, 10))
+	}
+	if req.Chart {
+		q.Set("chart", "1")
+	}
+	if req.TimeoutMillis > 0 {
+		q.Set("timeout_ms", strconv.FormatInt(req.TimeoutMillis, 10))
+	}
+	path := "/v1/exhibit/" + url.PathEscape(req.Name)
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var resp server.ExhibitResponse
+	if err := c.call(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Workloads runs GET /v1/workloads.
+func (c *Client) Workloads(ctx context.Context) ([]string, error) {
+	var resp struct {
+		Workloads []string `json:"workloads"`
+	}
+	if err := c.call(ctx, http.MethodGet, "/v1/workloads", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Workloads, nil
+}
+
+// Ready runs GET /readyz and reports whether the server accepts work.
+func (c *Client) Ready(ctx context.Context) bool {
+	err := c.call(ctx, http.MethodGet, "/readyz", nil, nil)
+	return err == nil
+}
+
+// call performs one API call with the retry schedule.
+func (c *Client) call(ctx context.Context, method, path string, body, out any) error {
+	var encoded []byte
+	if body != nil {
+		var err error
+		if encoded, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return err
+			}
+		}
+		retryable, err := c.once(ctx, method, path, encoded, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("client: giving up after %d attempts: %w", c.retries+1, lastErr)
+}
+
+// once performs a single HTTP exchange. The boolean reports whether the
+// failure is transient.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (bool, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return false, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		// Transport-level failure (connection refused/reset): transient
+		// unless our own context ended it.
+		return ctx.Err() == nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return true, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{}
+		var eb server.ErrorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error.Status != 0 {
+			apiErr.Detail = eb.Error
+		} else {
+			apiErr.Detail = server.ErrorDetail{Status: resp.StatusCode, Kind: "internal",
+				Message: fmt.Sprintf("unstructured %d response", resp.StatusCode)}
+		}
+		if apiErr.Detail.RetryAfterSeconds == 0 {
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				apiErr.Detail.RetryAfterSeconds = ra
+			}
+		}
+		return apiErr.Temporary(), apiErr
+	}
+	if out == nil {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return false, nil
+}
+
+// backoff computes the delay before the given (1-based) retry attempt:
+// the server's Retry-After hint when it gave one, otherwise capped
+// exponential backoff with full jitter.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.Detail.RetryAfterSeconds > 0 {
+		return time.Duration(apiErr.Detail.RetryAfterSeconds) * time.Second
+	}
+	d := c.baseDelay << (attempt - 1)
+	if d > c.maxDelay || d <= 0 {
+		d = c.maxDelay
+	}
+	c.mu.Lock()
+	jittered := time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.mu.Unlock()
+	return jittered
+}

@@ -1,0 +1,191 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ibsim/internal/server"
+)
+
+// instant replaces the client's backoff sleep with an immediate return,
+// recording the requested delays.
+func instant(c *Client, delays *[]time.Duration) {
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func writeErr(w http.ResponseWriter, det server.ErrorDetail) {
+	w.Header().Set("Content-Type", "application/json")
+	if det.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(det.Status)
+	json.NewEncoder(w).Encode(server.ErrorBody{Error: det})
+}
+
+// 429s are retried until the server admits the request.
+func TestClientRetriesLoadShedding(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			writeErr(w, server.ErrorDetail{Status: 429, Kind: "queue-full",
+				Message: "shed", RetryAfterSeconds: 1})
+			return
+		}
+		json.NewEncoder(w).Encode(server.SweepResponse{Workload: "eqntott", Accesses: 42})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(4))
+	var delays []time.Duration
+	instant(c, &delays)
+	resp, err := c.Sweep(context.Background(), server.SweepRequest{Workload: "eqntott"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accesses != 42 {
+		t.Fatalf("accesses = %d, want 42", resp.Accesses)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	// Retry-After dominates the backoff schedule when present.
+	for i, d := range delays {
+		if d != time.Second {
+			t.Errorf("delay %d = %v, want 1s from Retry-After", i, d)
+		}
+	}
+}
+
+// Structural errors are terminal: no retries, typed error surfaced.
+func TestClientDoesNotRetryBadRequest(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeErr(w, server.ErrorDetail{Status: 400, Kind: "bad-request", Message: "nope"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(4))
+	var delays []time.Duration
+	instant(c, &delays)
+	_, err := c.Sweep(context.Background(), server.SweepRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Detail.Kind != "bad-request" {
+		t.Fatalf("err = %v, want bad-request APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries)", calls.Load())
+	}
+}
+
+// Exhausting the retry budget reports the last failure.
+func TestClientGivesUpEventually(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeErr(w, server.ErrorDetail{Status: 503, Kind: "queue-timeout", Message: "busy"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(2))
+	var delays []time.Duration
+	instant(c, &delays)
+	_, err := c.Sweep(context.Background(), server.SweepRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Detail.Kind != "queue-timeout" {
+		t.Fatalf("err = %v, want queue-timeout APIError", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+// A cancelled context stops the retry loop immediately.
+func TestClientHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, server.ErrorDetail{Status: 503, Kind: "queue-timeout", Message: "busy"})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(ts.URL, WithRetries(10))
+	_, err := c.Sweep(ctx, server.SweepRequest{})
+	if err == nil {
+		t.Fatal("expected an error from a cancelled context")
+	}
+}
+
+// Transport-level failures (connection refused) are retried too.
+func TestClientRetriesTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.ExhibitResponse{Name: "table2", Text: "ok"})
+	}))
+	addr := ts.URL
+	ts.Close() // now refused
+
+	c := New(addr, WithRetries(2))
+	var delays []time.Duration
+	instant(c, &delays)
+	_, err := c.Exhibit(context.Background(), server.ExhibitRequest{Name: "table2"})
+	if err == nil {
+		t.Fatal("expected failure against a closed server")
+	}
+	if len(delays) != 2 {
+		t.Fatalf("attempted %d backoffs, want 2", len(delays))
+	}
+}
+
+// Backoff without a Retry-After hint grows but stays under the cap.
+func TestClientBackoffSchedule(t *testing.T) {
+	c := New("http://invalid", WithBackoff(100*time.Millisecond, time.Second))
+	for attempt := 1; attempt <= 10; attempt++ {
+		d := c.backoff(attempt, errors.New("plain"))
+		if d < 0 || d > time.Second {
+			t.Fatalf("attempt %d: backoff %v outside [0, 1s]", attempt, d)
+		}
+	}
+	hinted := c.backoff(1, &APIError{Detail: server.ErrorDetail{RetryAfterSeconds: 3}})
+	if hinted != 3*time.Second {
+		t.Fatalf("hinted backoff = %v, want 3s", hinted)
+	}
+}
+
+// The client round-trips cleanly against the real server.
+func TestClientAgainstRealServer(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	names, err := c.Workloads(ctx)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("workloads: %v (%d names)", err, len(names))
+	}
+	resp, err := c.Sweep(ctx, server.SweepRequest{
+		Workload: "eqntott", Instructions: 60_000, LineSize: 32,
+		Cells: []server.CellSpec{{Sets: 64, Assoc: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accesses == 0 || len(resp.Cells) != 1 {
+		t.Fatalf("empty sweep response: %+v", resp)
+	}
+	_, err = c.Exhibit(ctx, server.ExhibitRequest{Name: "nonesuch"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Detail.Status != 404 {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+}

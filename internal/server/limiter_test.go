@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterImmediateGrant(t *testing.T) {
+	l := NewLimiter(100, 4)
+	release, err := l.Acquire(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Used(); got != 60 {
+		t.Fatalf("Used = %d, want 60", got)
+	}
+	release()
+	release() // must be idempotent
+	if got := l.Used(); got != 0 {
+		t.Fatalf("Used after release = %d, want 0", got)
+	}
+}
+
+func TestLimiterTooHeavy(t *testing.T) {
+	l := NewLimiter(100, 4)
+	if _, err := l.Acquire(context.Background(), 101); !errors.Is(err, ErrTooHeavy) {
+		t.Fatalf("err = %v, want ErrTooHeavy", err)
+	}
+}
+
+func TestLimiterQueueFullRejects(t *testing.T) {
+	l := NewLimiter(10, 1)
+	release, err := l.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// One waiter fits in the queue...
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx, 5)
+		errc <- err
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+
+	// ...the next is shed.
+	if _, err := l.Acquire(context.Background(), 5); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued waiter err = %v, want context.Canceled", err)
+	}
+	if got := l.Queued(); got != 0 {
+		t.Fatalf("Queued after cancellation = %d, want 0", got)
+	}
+}
+
+// Queued waiters drain in arrival order once capacity frees up.
+func TestLimiterQueueDrains(t *testing.T) {
+	l := NewLimiter(10, 4)
+	releaseBig, err := l.Acquire(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background(), 3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+			release()
+		}()
+	}
+	waitFor(t, func() bool { return l.Queued() == 3 })
+
+	releaseBig()
+	wg.Wait()
+	if got := l.Used(); got != 0 {
+		t.Fatalf("Used after drain = %d, want 0", got)
+	}
+}
+
+// A small request behind a too-large head-of-line waiter must not be
+// granted out of order even when it would fit.
+func TestLimiterNoQueueJumping(t *testing.T) {
+	l := NewLimiter(10, 4)
+	releaseBig, err := l.Acquire(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	headGranted := make(chan func(), 1)
+	go func() { // head of line: needs 9, cannot fit until the 8 releases
+		release, err := l.Acquire(context.Background(), 9)
+		if err != nil {
+			return
+		}
+		headGranted <- release
+	}()
+	waitFor(t, func() bool { return l.Queued() == 1 })
+
+	smallGranted := make(chan func(), 1)
+	go func() { // needs 1: fits beside the 8 right now, but is behind the 9
+		release, err := l.Acquire(context.Background(), 1)
+		if err != nil {
+			return
+		}
+		smallGranted <- release
+	}()
+	waitFor(t, func() bool { return l.Queued() == 2 })
+
+	select {
+	case <-smallGranted:
+		t.Fatal("small request jumped the queue past a blocked head of line")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	releaseBig()
+	releaseHead := <-headGranted
+	releaseHead()
+	releaseSmall := <-smallGranted
+	releaseSmall()
+	if got := l.Used(); got != 0 {
+		t.Fatalf("Used = %d, want 0", got)
+	}
+}
+
+func TestLimiterDeadlineWhileQueued(t *testing.T) {
+	l := NewLimiter(10, 4)
+	release, err := l.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx, 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// Hammer the limiter from many goroutines (run under -race) and check the
+// bookkeeping returns to zero.
+func TestLimiterStressBalanced(t *testing.T) {
+	l := NewLimiter(64, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w := int64(1 + (g+i)%32)
+				release, err := l.Acquire(context.Background(), w)
+				if err != nil {
+					t.Errorf("acquire(%d): %v", w, err)
+					return
+				}
+				if u := l.Used(); u < 0 || u > l.Capacity() {
+					t.Errorf("Used = %d outside [0, %d]", u, l.Capacity())
+				}
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := l.Used(); got != 0 {
+		t.Fatalf("Used after balanced stress = %d, want 0", got)
+	}
+	if got := l.Queued(); got != 0 {
+		t.Fatalf("Queued after balanced stress = %d, want 0", got)
+	}
+}
+
+// waitFor spins until cond holds or the test deadline nears.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

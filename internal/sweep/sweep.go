@@ -127,51 +127,9 @@ type group struct {
 
 // Run executes the pass and returns the miss matrix.
 func (p Pass) Run(refs []trace.Ref) (*Matrix, error) {
-	if p.LineSize <= 0 || p.LineSize&(p.LineSize-1) != 0 {
-		return nil, fmt.Errorf("sweep: line size %d must be a positive power of two", p.LineSize)
-	}
-	if len(p.Cells) == 0 {
-		return nil, fmt.Errorf("sweep: empty cell grid")
-	}
-	m := &Matrix{
-		LineSize: p.LineSize,
-		Cells:    append([]Cell(nil), p.Cells...),
-		Misses:   make([]int64, len(p.Cells)),
-	}
-	bySets := make(map[int]*group)
-	var groups []*group
-	for i, c := range p.Cells {
-		if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
-			return nil, fmt.Errorf("sweep: cell %d: set count %d must be a positive power of two", i, c.Sets)
-		}
-		if c.Assoc < 1 {
-			return nil, fmt.Errorf("sweep: cell %d: associativity %d must be >= 1", i, c.Assoc)
-		}
-		g, ok := bySets[c.Sets]
-		if !ok {
-			g = &group{mask: uint64(c.Sets - 1)}
-			bySets[c.Sets] = g
-			groups = append(groups, g)
-		}
-		if c.Assoc > g.amax {
-			g.amax = c.Assoc
-		}
-		g.cells = append(g.cells, groupCell{assoc: c.Assoc, out: i})
-	}
-	for _, g := range groups {
-		// Stacks are row-major per set; key 0 marks an empty slot, so line
-		// addresses are stored offset by one.
-		g.stack = make([]uint64, (int(g.mask)+1)*g.amax)
-	}
-
-	var seen *lineSet
-	if p.CountDistinct {
-		seen = newLineSet()
-	}
-
-	var shift uint
-	for v := p.LineSize; v > 1; v >>= 1 {
-		shift++
+	m, groups, seen, shift, err := p.prepare()
+	if err != nil {
+		return nil, err
 	}
 	for ri, r := range refs {
 		if p.Ctx != nil && ri&cancelCheckMask == 0 {
@@ -219,6 +177,131 @@ func (p Pass) Run(refs []trace.Ref) (*Matrix, error) {
 		m.Accesses++
 	}
 	return m, nil
+}
+
+// RunSource executes the pass over a streaming trace.Source in O(grid)
+// memory — no materialized ref slice — and returns the same miss matrix Run
+// produces over the equivalent slice (only instruction fetches are
+// counted). It is the degraded-mode path for traces too large for the synth
+// store's hard budget: the service layer pairs it with synth.Store.Source's
+// streaming regeneration. A source that stops with a non-nil Err fails the
+// pass with that error; the partial matrix is discarded.
+func (p Pass) RunSource(src trace.Source) (*Matrix, error) {
+	m, groups, seen, shift, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
+	var ri int64
+	for {
+		if p.Ctx != nil && ri&cancelCheckMask == 0 {
+			if err := p.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		r, ok := src.Next()
+		if !ok {
+			if err := src.Err(); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+		ri++
+		if r.Kind != trace.IFetch {
+			continue
+		}
+		p.step(m, groups, seen, shift, r.Addr)
+	}
+}
+
+// prepare validates the pass and builds the per-set-count groups, the
+// optional first-touch set, and the line-size shift shared by Run and
+// RunSource.
+func (p Pass) prepare() (*Matrix, []*group, *lineSet, uint, error) {
+	if p.LineSize <= 0 || p.LineSize&(p.LineSize-1) != 0 {
+		return nil, nil, nil, 0, fmt.Errorf("sweep: line size %d must be a positive power of two", p.LineSize)
+	}
+	if len(p.Cells) == 0 {
+		return nil, nil, nil, 0, fmt.Errorf("sweep: empty cell grid")
+	}
+	m := &Matrix{
+		LineSize: p.LineSize,
+		Cells:    append([]Cell(nil), p.Cells...),
+		Misses:   make([]int64, len(p.Cells)),
+	}
+	bySets := make(map[int]*group)
+	var groups []*group
+	for i, c := range p.Cells {
+		if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+			return nil, nil, nil, 0, fmt.Errorf("sweep: cell %d: set count %d must be a positive power of two", i, c.Sets)
+		}
+		if c.Assoc < 1 {
+			return nil, nil, nil, 0, fmt.Errorf("sweep: cell %d: associativity %d must be >= 1", i, c.Assoc)
+		}
+		g, ok := bySets[c.Sets]
+		if !ok {
+			g = &group{mask: uint64(c.Sets - 1)}
+			bySets[c.Sets] = g
+			groups = append(groups, g)
+		}
+		if c.Assoc > g.amax {
+			g.amax = c.Assoc
+		}
+		g.cells = append(g.cells, groupCell{assoc: c.Assoc, out: i})
+	}
+	for _, g := range groups {
+		// Stacks are row-major per set; key 0 marks an empty slot, so line
+		// addresses are stored offset by one.
+		g.stack = make([]uint64, (int(g.mask)+1)*g.amax)
+	}
+	var seen *lineSet
+	if p.CountDistinct {
+		seen = newLineSet()
+	}
+	var shift uint
+	for v := p.LineSize; v > 1; v >>= 1 {
+		shift++
+	}
+	return m, groups, seen, shift, nil
+}
+
+// step settles one instruction fetch for every grid cell — the shared
+// per-reference body of RunSource (Run keeps its own inlined copy: the
+// materialized path is the benchmarked hot loop).
+func (p Pass) step(m *Matrix, groups []*group, seen *lineSet, shift uint, addr uint64) {
+	la := addr >> shift
+	key := la + 1
+	if seen != nil && seen.add(key) {
+		m.Distinct++
+	}
+	for _, g := range groups {
+		base := int(la&g.mask) * g.amax
+		st := g.stack[base : base+g.amax]
+		if st[0] == key {
+			continue
+		}
+		pos := -1
+		for i := 1; i < g.amax; i++ {
+			if st[i] == key {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			for _, c := range g.cells {
+				m.Misses[c.out]++
+			}
+			copy(st[1:], st[:g.amax-1])
+		} else {
+			for _, c := range g.cells {
+				if c.assoc <= pos {
+					m.Misses[c.out]++
+				}
+			}
+			copy(st[1:pos+1], st[:pos])
+		}
+		st[0] = key
+	}
+	m.Accesses++
 }
 
 // lineSet is a minimal open-addressing hash set over non-zero uint64 keys,

@@ -220,3 +220,89 @@ func TestRunHonorsContext(t *testing.T) {
 		}
 	}
 }
+
+// RunSource must agree exactly with Run on the same stream: the streaming
+// path is the degraded-mode fallback and may not change any number.
+func TestRunSourceMatchesRun(t *testing.T) {
+	refs := testRefs(t, 150_000)
+	p := Pass{
+		LineSize:      32,
+		Cells:         []Cell{{Sets: 64, Assoc: 1}, {Sets: 256, Assoc: 2}, {Sets: 1024, Assoc: 4}},
+		CountDistinct: true,
+	}
+	want, err := p.Run(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.RunSource(trace.NewSliceSource(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Accesses != want.Accesses || got.Distinct != want.Distinct {
+		t.Fatalf("totals differ: %d/%d vs %d/%d", got.Accesses, got.Distinct, want.Accesses, want.Distinct)
+	}
+	for i := range want.Misses {
+		if got.Misses[i] != want.Misses[i] {
+			t.Errorf("cell %d: streamed %d misses, materialized %d", i, got.Misses[i], want.Misses[i])
+		}
+	}
+}
+
+// errAfterSource fails the stream after n refs.
+type errAfterSource struct {
+	refs []trace.Ref
+	n    int
+	i    int
+	err  error
+}
+
+func (s *errAfterSource) Next() (trace.Ref, bool) {
+	if s.i >= s.n {
+		return trace.Ref{}, false
+	}
+	r := s.refs[s.i]
+	s.i++
+	return r, true
+}
+
+func (s *errAfterSource) Err() error {
+	if s.i >= s.n {
+		return s.err
+	}
+	return nil
+}
+
+// A source error must abort RunSource with that error, not a silent
+// partial matrix.
+func TestRunSourcePropagatesSourceError(t *testing.T) {
+	refs := testRefs(t, 10_000)
+	boom := errors.New("sweep test: injected stream failure")
+	p := Pass{LineSize: 32, Cells: []Cell{{Sets: 64, Assoc: 1}}}
+	_, err := p.RunSource(&errAfterSource{refs: refs, n: 5_000, err: boom})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected cause", err)
+	}
+}
+
+// Cancellation mid-stream aborts RunSource with the context's error.
+func TestRunSourceCancellation(t *testing.T) {
+	refs := testRefs(t, 400_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Pass{LineSize: 32, Cells: []Cell{{Sets: 64, Assoc: 1}}, Ctx: ctx}
+	if _, err := p.RunSource(trace.NewSliceSource(refs)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// RunSource applies the same validation as Run.
+func TestRunSourceValidation(t *testing.T) {
+	p := Pass{LineSize: 33, Cells: []Cell{{Sets: 64, Assoc: 1}}}
+	if _, err := p.RunSource(trace.NewSliceSource(nil)); err == nil {
+		t.Fatal("line size 33 accepted")
+	}
+	p = Pass{LineSize: 32}
+	if _, err := p.RunSource(trace.NewSliceSource(nil)); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}

@@ -111,6 +111,22 @@ const (
 	runBytes = 24
 )
 
+// TraceBytes estimates the bytes a store retains for one materialized
+// n-instruction trace; withRuns adds the worst case of its run-length
+// compaction (one run per ref). This is the same arithmetic Instr and
+// InstrRuns check against the hard budget, exported so admission control
+// (cmd/ibsimd's weighted limiter) can weigh a request before committing to
+// the allocation.
+func TraceBytes(n int64, withRuns bool) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if withRuns {
+		return n * (refBytes + runBytes)
+	}
+	return n * refBytes
+}
+
 // Instr returns prof's instruction-only trace for (seed, n) — the same
 // stream InstrTrace generates — memoized across callers. The release
 // function must be called exactly once when the caller is done with the
