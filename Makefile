@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check chaos serve bench microbench vet cover tables extensions calibration examples clean
+.PHONY: all build test test-short race check check-sampling chaos serve bench microbench vet cover tables extensions calibration examples clean
 
 all: build vet test race check
 
@@ -29,6 +29,16 @@ race:
 # BENCH_ibsim.json.
 check: vet
 	$(GO) run ./cmd/ibscheck -n 200000
+
+# Sampled-simulation verification: CI95 calibration of the set- and
+# time-sampled engines against exact sweeps, the warm-unbiasedness and
+# cold-bias statistical properties, the sampled-vs-exact speedup gate, and
+# the sampling property/engine tests under the race detector. (Flags must
+# precede the stage name: the Go flag parser stops at the first positional.)
+check-sampling:
+	$(GO) run ./cmd/ibscheck -o "" -n 200000 sampling-bounds
+	$(GO) test -race -run 'Sampl' ./internal/sampling ./internal/sweep \
+		./internal/replay ./internal/check ./internal/server
 
 # Seeded fault-injection (chaos) suite under the race detector: trace-codec
 # corruption contracts, store budget fallback, worker panic isolation, the

@@ -10,6 +10,7 @@
 //	ibscheck -o perf/BENCH.json    # report path (default BENCH_ibsim.json)
 //	ibscheck -print-golden         # emit the golden.go literal for this run
 //	ibscheck -faults               # chaos mode: seeded fault-injection suite
+//	ibscheck sampling-bounds       # only the sampling checks + bench
 //
 // The exit status is 0 only when every check passes and every tracked stage
 // is within golden tolerance.
@@ -42,6 +43,7 @@ func run(args []string) int {
 	faults := fs.Bool("faults", false, "run only the seeded fault-injection (chaos) suite")
 	noFigures := fs.Bool("no-figures", false, "skip the Figure 3+4 sweep-vs-per-config benchmark")
 	noTables := fs.Bool("no-tables", false, "skip the Tables 5-8 + Figures 6/7 fanout-vs-per-config benchmark")
+	noSampling := fs.Bool("no-sampling", false, "skip the sampled-vs-exact sweep benchmark")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -78,6 +80,14 @@ func run(args []string) int {
 
 	opt := check.Options{Instructions: *n, Seed: *seed}
 	start := time.Now()
+
+	if fs.Arg(0) == "sampling-bounds" {
+		return runSamplingBounds(opt, *out, start)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "ibscheck: unknown stage %q (did you mean sampling-bounds?)\n", fs.Arg(0))
+		return 2
+	}
 
 	if *faults {
 		results, err := check.RunChaos(opt)
@@ -160,6 +170,18 @@ func run(args []string) int {
 		stagesOK = stagesOK && tables.Passed
 	}
 
+	var samp *check.SamplingBench
+	if !*noSampling {
+		samp, err = check.RunSamplingBench(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+			return 2
+		}
+		fmt.Printf("%-4s bench/%-36s %s (%.2fs)\n", verdict(samp.Passed), "sampling-sweep", samp.Detail,
+			samp.ExactSeconds+samp.SampledSeconds)
+		stagesOK = stagesOK && samp.Passed
+	}
+
 	report := check.Report{
 		Schema:       "ibsim-bench/v1",
 		Instructions: *n,
@@ -169,6 +191,7 @@ func run(args []string) int {
 		Stages:       stages,
 		Figure34:     figures,
 		Tables:       tables,
+		Sampling:     samp,
 		Passed:       check.AllPassed(results) && stagesOK,
 		TotalSeconds: time.Since(start).Seconds(),
 	}
@@ -181,6 +204,54 @@ func run(args []string) int {
 		return 1
 	}
 	fmt.Printf("PASS (%d checks, %d stages, %.2fs)\n", len(results), len(stages), report.TotalSeconds)
+	return 0
+}
+
+// runSamplingBounds is the `ibscheck sampling-bounds` stage: only the
+// sampling calibration checks and the sampled-sweep benchmark, for a fast CI
+// gate on the speed/fidelity dial.
+func runSamplingBounds(opt check.Options, out string, start time.Time) int {
+	var results []check.Result
+	for _, fn := range []func(check.Options) ([]check.Result, error){
+		check.SamplingBounds,
+		check.SamplingProperties,
+	} {
+		rs, err := fn(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: harness failure: %v\n", err)
+			return 2
+		}
+		results = append(results, rs...)
+	}
+	for _, r := range results {
+		fmt.Printf("%-4s %-42s %s (%.2fs)\n", verdict(r.Passed), r.Name, r.Detail, r.Seconds)
+	}
+	samp, err := check.RunSamplingBench(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+		return 2
+	}
+	fmt.Printf("%-4s bench/%-36s %s (%.2fs)\n", verdict(samp.Passed), "sampling-sweep", samp.Detail,
+		samp.ExactSeconds+samp.SampledSeconds)
+	report := check.Report{
+		Schema:       "ibsim-bench/v1",
+		Instructions: opt.Instructions,
+		Seed:         opt.Seed,
+		GoldenScale:  opt.Instructions == check.PinnedInstructions && opt.Seed == 0,
+		Checks:       results,
+		Sampling:     samp,
+		Passed:       check.AllPassed(results) && samp.Passed,
+		TotalSeconds: time.Since(start).Seconds(),
+	}
+	if err := writeReport(out, report); err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+		return 2
+	}
+	if !report.Passed {
+		fmt.Println("FAIL")
+		return 1
+	}
+	fmt.Printf("PASS (%d sampling checks, %.2fs)\n", len(results), report.TotalSeconds)
 	return 0
 }
 

@@ -55,6 +55,10 @@ type Report struct {
 	// Tables records the Tables 5-8 + Figures 6/7 fan-out replay benchmark,
 	// in the same both-paths form as Figure34.
 	Tables *TablesBench `json:"tables,omitempty"`
+	// Sampling records the sampled-sweep benchmark: exact vs 1/16
+	// set-sampled grid sweep, with speedup, accuracy, and CI-calibration
+	// verdicts.
+	Sampling *SamplingBench `json:"sampling,omitempty"`
 	// Passed is the run's overall verdict.
 	Passed bool `json:"passed"`
 	// TotalSeconds is the whole run's wall-clock time.

@@ -19,7 +19,8 @@ func TestRunChaosAllPass(t *testing.T) {
 		"chaos/error-after-n", "chaos/write-fault-sticky",
 		"chaos/over-budget-store", "chaos/worker-panic",
 		"chaos/server-slow-loris", "chaos/server-cancel",
-		"chaos/server-over-budget", "chaos/server-panic",
+		"chaos/server-over-budget", "chaos/server-sampling-tier",
+		"chaos/server-panic",
 	}
 	if len(results) != len(want) {
 		t.Fatalf("%d scenarios, want %d", len(results), len(want))

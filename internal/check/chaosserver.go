@@ -278,3 +278,78 @@ func chaosServerPanic(prof synth.Profile, seed uint64) Result {
 	}
 	return pass(name, "handler panic isolated to a structured 500; daemon kept serving")
 }
+
+// chaosServerSamplingTier proves the degradation ladder's ORDER: a store
+// that cannot hold the ref trace but can hold its run compaction must answer
+// from the sampling tier (degraded, confidence intervals attached, estimates
+// near the exact answer), and only a store too small for even the runs may
+// fall to the streaming tier below it.
+func chaosServerSamplingTier(prof synth.Profile, seed uint64) Result {
+	const name = "chaos/server-sampling-tier"
+	const n = 20_000
+	// Budgets bracketing the run compaction: refs need n*16 = 320 KB, the
+	// compacted runs a few tens of KB.
+	mid, err := startServer(server.Config{Store: synth.NewStoreLimits(0, 1<<17)})
+	if err != nil {
+		return fail(name, "%v", err)
+	}
+	defer mid.stop()
+	tiny, err := startServer(server.Config{Store: synth.NewStoreLimits(0, 1<<10)})
+	if err != nil {
+		return fail(name, "%v", err)
+	}
+	defer tiny.stop()
+	healthy, err := startServer(server.Config{Store: synth.NewStore(1 << 24)})
+	if err != nil {
+		return fail(name, "%v", err)
+	}
+	defer healthy.stop()
+
+	body := sweepBody(prof.Name, n)
+	code, exact, _, err := postSweep(healthy.base, body)
+	if err != nil || code != http.StatusOK || exact == nil {
+		return fail(name, "healthy sweep = %d (err %v), want 200", code, err)
+	}
+
+	code, sresp, eb, err := postSweep(mid.base, body)
+	if err != nil || code != http.StatusOK || sresp == nil {
+		return fail(name, "mid-budget sweep = %d (%+v, err %v), want sampled 200", code, eb, err)
+	}
+	switch {
+	case !sresp.Degraded:
+		return fail(name, "sampling-tier answer not marked degraded: %+v", sresp)
+	case sresp.Sampling == nil:
+		return fail(name, "mid-budget answer has no sampling block (reason %q) — tier skipped", sresp.DegradedReason)
+	case sresp.Sampling.CI95 <= 0 || sresp.Sampling.Coverage <= 0 || sresp.Sampling.Coverage >= 1:
+		return fail(name, "sampling block not populated: %+v", sresp.Sampling)
+	case !strings.Contains(sresp.DegradedReason, "sampled"):
+		return fail(name, "reason %q does not say the answer is sampled", sresp.DegradedReason)
+	}
+	for i, c := range sresp.Cells {
+		exactMPI := float64(exact.Cells[i].Misses) / float64(exact.Accesses)
+		tol := 3 * c.CI95
+		if fl := 0.5 * exactMPI; tol < fl {
+			tol = fl
+		}
+		if d := c.MPI - exactMPI; d < -tol || d > tol {
+			return fail(name, "cell %d: sampled MPI %v vs exact %v beyond tolerance %v", i, c.MPI, exactMPI, tol)
+		}
+	}
+
+	code, tresp, eb, err := postSweep(tiny.base, body)
+	if err != nil || code != http.StatusOK || tresp == nil {
+		return fail(name, "tiny-budget sweep = %d (%+v, err %v), want streamed 200", code, eb, err)
+	}
+	if tresp.Sampling != nil {
+		return fail(name, "tiny-budget store sampled; runs over budget must stream exactly")
+	}
+	if !tresp.Degraded || !strings.Contains(tresp.DegradedReason, "stream") {
+		return fail(name, "tiny-budget reason %q, want streaming fallback", tresp.DegradedReason)
+	}
+	for i := range exact.Cells {
+		if tresp.Cells[i].Misses != exact.Cells[i].Misses {
+			return fail(name, "streamed cell %d: %d misses, exact %d", i, tresp.Cells[i].Misses, exact.Cells[i].Misses)
+		}
+	}
+	return pass(name, "sampling tier engaged above streaming: sampled at coverage %.3f with CI95 %.2e, streamed exactly below it", sresp.Sampling.Coverage, sresp.Sampling.CI95)
+}

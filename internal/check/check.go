@@ -102,6 +102,8 @@ func RunAll(opt Options) ([]Result, error) {
 		SweepVsPerConfig,
 		FanoutVsPerConfig,
 		TraceRoundTrip,
+		SamplingBounds,
+		SamplingProperties,
 	} {
 		rs, err := fn(opt)
 		if err != nil {

@@ -35,6 +35,14 @@ const figure34GoldenSpeedup = 6.3
 // it alongside deliberate replay-path changes.
 const tablesGoldenSpeedup = 3.1
 
+// samplingGoldenSpeedup is the recorded speedup of the 1/16 set-sampled
+// sweep over the exact sweep on the full 1KB-64KB grid at the pinned scale,
+// measured by `go run ./cmd/ibscheck -n 200000` on the commit that
+// introduced the sampled engine. RunSamplingBench fails a golden-scale run
+// whose measured speedup drops below 80% of this; update it alongside
+// deliberate sampled-sweep changes.
+const samplingGoldenSpeedup = 11.5
+
 var goldens = map[string]Golden{
 	"cache/base-l1":   {CPI: 0, MPI: 0.04838},
 	"fetch/blocking":  {CPI: 0.33866, MPI: 0.04838},

@@ -125,7 +125,7 @@ func TestRunAll(t *testing.T) {
 	opt := testOpt(t)
 	rs, err := RunAll(opt)
 	requireAllPass(t, rs, err)
-	if len(rs) != 13 {
-		t.Errorf("RunAll returned %d results, want 13", len(rs))
+	if len(rs) != 17 {
+		t.Errorf("RunAll returned %d results, want 17", len(rs))
 	}
 }

@@ -1,0 +1,46 @@
+package check
+
+import "testing"
+
+// The sampling calibration checks and bench must pass at a reduced scale
+// (off golden scale, so the bench skips only the speedup-regression gate —
+// accuracy and CI calibration are still enforced).
+func TestSamplingChecks(t *testing.T) {
+	opt := Options{Instructions: 60_000}
+	for _, fn := range []struct {
+		name string
+		run  func(Options) ([]Result, error)
+	}{
+		{"bounds", SamplingBounds},
+		{"properties", SamplingProperties},
+	} {
+		rs, err := fn.run(opt)
+		if err != nil {
+			t.Fatalf("%s: harness failure: %v", fn.name, err)
+		}
+		for _, r := range rs {
+			if !r.Passed {
+				t.Errorf("%s: %s failed: %s", fn.name, r.Name, r.Detail)
+			}
+		}
+	}
+}
+
+func TestSamplingBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench timing in -short mode")
+	}
+	sb, err := RunSamplingBench(Options{Instructions: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sb.Passed {
+		t.Fatalf("sampling bench failed: %s", sb.Detail)
+	}
+	if sb.Speedup < 2 {
+		t.Errorf("sampled sweep only %.1fx faster than exact: %s", sb.Speedup, sb.Detail)
+	}
+	if sb.Coverage <= 0 || sb.Coverage > 0.2 {
+		t.Errorf("coverage %v outside (0, 0.2]", sb.Coverage)
+	}
+}

@@ -1,0 +1,289 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+
+	"ibsim/internal/fetch"
+	"ibsim/internal/sampling"
+	"ibsim/internal/trace"
+)
+
+// Sampled replay: the fan-out driver's speed/fidelity dial. Instead of
+// feeding every engine the whole trace, feed it a statistical sample and
+// report each engine's counters together with a sampling.Estimate carrying
+// the MPI extrapolation and its 95% confidence interval.
+//
+// Two mutually exclusive plans:
+//
+//   - Time sampling (Window/Period): the first Window of every Period
+//     instructions are measured. Warm feeds the skipped spans too — engine
+//     state stays current ("functional warming", unbiased, the default for
+//     the service tier) — while !Warm skips them entirely for maximum speed
+//     at a stale-state bias. Each window is one variance cluster. Valid for
+//     EVERY engine type: timing, stream buffers, prefetchers.
+//
+//   - Set sampling (SetMod/SetMatch at LineSize): only the lines of one
+//     address congruence class are replayed, grouped into setClusters
+//     subgroups fed in order. Exact within the subset only for prefetch-free
+//     blocking engines whose line size equals LineSize and whose set count
+//     is at least SetMod*setClusters (per-set access order is preserved);
+//     engines with cross-set behavior (stream buffers, next-line prefetch)
+//     see a distorted stream and get an approximation. The sweep engine is
+//     the first-class home of set sampling — here it exists for
+//     blocking-bank studies.
+type SamplePlan struct {
+	// Window/Period schedule time sampling: the first Window of every
+	// Period instructions are measured. Window == Period measures
+	// everything (exact, CI 0).
+	Window int64
+	Period int64
+	// Warm replays unmeasured spans without counting them (engine state
+	// stays warm); false skips them.
+	Warm bool
+	// SetMod/SetMatch/LineSize select set sampling instead: only lines (of
+	// LineSize bytes) congruent to SetMatch mod SetMod are replayed.
+	SetMod   int
+	SetMatch int
+	LineSize int
+}
+
+// setClusters is the number of congruence subgroups a set-sampled replay is
+// split into for variance estimation (one Result snapshot per subgroup).
+const setClusters = 8
+
+// timeMode reports whether the plan uses time sampling.
+func (p SamplePlan) timeMode() bool { return p.Window > 0 || p.Period > 0 }
+
+// Validate checks the plan.
+func (p SamplePlan) Validate() error {
+	timeMode := p.timeMode()
+	setMode := p.SetMod != 0 || p.SetMatch != 0 || p.LineSize != 0
+	switch {
+	case timeMode && setMode:
+		return fmt.Errorf("replay: sampling plan mixes time and set dimensions; pick one")
+	case timeMode:
+		if p.Window <= 0 {
+			return fmt.Errorf("replay: sampling window %d must be positive", p.Window)
+		}
+		if p.Period < p.Window {
+			return fmt.Errorf("replay: sampling period %d < window %d", p.Period, p.Window)
+		}
+	case setMode:
+		if p.SetMod <= 1 || p.SetMod&(p.SetMod-1) != 0 {
+			return fmt.Errorf("replay: set-sampling modulus %d must be a power of two > 1", p.SetMod)
+		}
+		if p.SetMatch < 0 || p.SetMatch >= p.SetMod {
+			return fmt.Errorf("replay: set-sampling match %d outside [0,%d)", p.SetMatch, p.SetMod)
+		}
+		if p.LineSize < trace.InstrBytes || p.LineSize&(p.LineSize-1) != 0 {
+			return fmt.Errorf("replay: set-sampling line size %d must be a power of two >= %d", p.LineSize, trace.InstrBytes)
+		}
+	default:
+		return fmt.Errorf("replay: sampling plan selects no dimension")
+	}
+	return nil
+}
+
+// SampledResult is one engine's sampled replay outcome.
+type SampledResult struct {
+	// Measured holds the counters accumulated over measured spans only —
+	// Measured.CPIinstr() and Measured.MPI() are the sampled estimates of
+	// the full-trace values.
+	Measured fetch.Result
+	// Estimate extrapolates the miss rate to the full trace with a 95%
+	// confidence interval.
+	Estimate sampling.Estimate
+}
+
+// Sampled replays the trace sample through every engine in the bank and
+// returns per-engine estimates in bank order. Engines are mutated (fed the
+// sample); as with Replay, pass freshly built engines.
+func Sampled(ctx context.Context, runs []trace.Run, engines []fetch.Engine, plan SamplePlan) ([]SampledResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]SampledResult, len(engines))
+	if plan.timeMode() {
+		for i, e := range engines {
+			r, err := sampledTime(ctx, runs, e, plan)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	subs, total := setSubruns(runs, plan)
+	for i, e := range engines {
+		r, err := sampledSet(ctx, subs, total, e, plan)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// resultDelta subtracts two counter snapshots.
+func resultDelta(cur, prev fetch.Result) fetch.Result {
+	return fetch.Result{
+		Instructions: cur.Instructions - prev.Instructions,
+		Misses:       cur.Misses - prev.Misses,
+		BufferHits:   cur.BufferHits - prev.BufferHits,
+		StallCycles:  cur.StallCycles - prev.StallCycles,
+	}
+}
+
+// resultAdd accumulates a delta.
+func resultAdd(acc, d fetch.Result) fetch.Result {
+	acc.Instructions += d.Instructions
+	acc.Misses += d.Misses
+	acc.BufferHits += d.BufferHits
+	acc.StallCycles += d.StallCycles
+	return acc
+}
+
+// feedSpan issues n sequential fetches starting at start.
+func feedSpan(e fetch.Engine, re fetch.RunEngine, start uint64, n int64) {
+	if re != nil {
+		re.FetchRun(start, n)
+		return
+	}
+	addr := start
+	for i := int64(0); i < n; i++ {
+		e.Fetch(addr)
+		addr += trace.InstrBytes
+	}
+}
+
+// sampledTime replays one engine under a time plan: measured windows are
+// delimited by Result snapshots, each window one variance cluster.
+func sampledTime(ctx context.Context, runs []trace.Run, e fetch.Engine, plan SamplePlan) (SampledResult, error) {
+	re, _ := e.(fetch.RunEngine)
+	var res SampledResult
+	var clusters []sampling.Cluster
+	var prev fetch.Result
+	inWindow := false
+	closeWindow := func() {
+		if !inWindow {
+			return
+		}
+		d := resultDelta(e.Result(), prev)
+		res.Measured = resultAdd(res.Measured, d)
+		clusters = append(clusters, sampling.Cluster{Instructions: d.Instructions, Misses: d.Misses})
+		inWindow = false
+	}
+	var pos int64
+	for ri, r := range runs {
+		if ri&(runChunk-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return SampledResult{}, err
+			}
+		}
+		for off := int64(0); off < r.Len; {
+			phase := (pos + off) % plan.Period
+			if phase < plan.Window {
+				seg := plan.Window - phase
+				if rem := r.Len - off; seg > rem {
+					seg = rem
+				}
+				if !inWindow {
+					prev = e.Result()
+					inWindow = true
+				}
+				feedSpan(e, re, r.Start+uint64(off)*trace.InstrBytes, seg)
+				off += seg
+			} else {
+				closeWindow()
+				seg := plan.Period - phase
+				if rem := r.Len - off; seg > rem {
+					seg = rem
+				}
+				if plan.Warm {
+					feedSpan(e, re, r.Start+uint64(off)*trace.InstrBytes, seg)
+				}
+				off += seg
+			}
+		}
+		pos += r.Len
+	}
+	closeWindow()
+	f := float64(0)
+	if pos > 0 {
+		f = float64(res.Measured.Instructions) / float64(pos)
+	}
+	res.Estimate = sampling.EstimateFrom(clusters, pos, f)
+	return res, nil
+}
+
+// setSubruns filters the trace down to the sampled congruence class once
+// (shared by every engine in the bank), split into setClusters subgroups by
+// the line-address bits just above the modulus. Returns the subgroup run
+// lists and the total instruction count of the unfiltered trace.
+func setSubruns(runs []trace.Run, plan SamplePlan) ([][]trace.Run, int64) {
+	subs := make([][]trace.Run, setClusters)
+	var shift uint
+	for v := plan.LineSize; v > 1; v >>= 1 {
+		shift++
+	}
+	var modShift uint
+	for v := plan.SetMod; v > 1; v >>= 1 {
+		modShift++
+	}
+	ipl := int64(plan.LineSize / trace.InstrBytes)
+	mod := uint64(plan.SetMod)
+	match := uint64(plan.SetMatch)
+	var total int64
+	for _, r := range runs {
+		total += r.Len
+		first := r.Start >> shift
+		headOff := int64(r.Start/trace.InstrBytes) & (ipl - 1)
+		head := ipl - headOff
+		if head > r.Len {
+			head = r.Len
+		}
+		nlines := int64(1)
+		if rem := r.Len - head; rem > 0 {
+			nlines += (rem + ipl - 1) / ipl
+		}
+		for i := int64((match - first) & (mod - 1)); i < nlines; i += int64(mod) {
+			l := first + uint64(i)
+			var start uint64
+			var cnt int64
+			if i == 0 {
+				start, cnt = r.Start, head
+			} else {
+				off := head + (i-1)*ipl
+				start = r.Start + uint64(off)*trace.InstrBytes
+				cnt = r.Len - off
+				if cnt > ipl {
+					cnt = ipl
+				}
+			}
+			g := (l >> modShift) & (setClusters - 1)
+			subs[g] = append(subs[g], trace.Run{Start: start, Len: cnt, Domain: r.Domain})
+		}
+	}
+	return subs, total
+}
+
+// sampledSet replays the pre-filtered subgroups through one engine, one
+// Result snapshot per subgroup.
+func sampledSet(ctx context.Context, subs [][]trace.Run, total int64, e fetch.Engine, plan SamplePlan) (SampledResult, error) {
+	var res SampledResult
+	clusters := make([]sampling.Cluster, 0, len(subs))
+	var prev fetch.Result
+	for _, sub := range subs {
+		if err := replayOne(ctx, sub, e); err != nil {
+			return SampledResult{}, err
+		}
+		cur := e.Result()
+		d := resultDelta(cur, prev)
+		prev = cur
+		clusters = append(clusters, sampling.Cluster{Instructions: d.Instructions, Misses: d.Misses})
+	}
+	res.Measured = e.Result()
+	res.Estimate = sampling.EstimateFrom(clusters, total, 1/float64(plan.SetMod))
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package sampling
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrZeroBaseline reports that the full-trace (exact) simulation recorded no
+// misses, so a relative error against it is undefined. Error returns it
+// instead of silently reporting relErr = 0; callers that treat "no misses"
+// as a benign case must check for it explicitly.
+var ErrZeroBaseline = errors.New("sampling: full-trace miss count is zero; relative error undefined")
+
+// Cluster is one sampling unit's contribution to an estimate: the
+// instructions it measured and the misses it observed. For time sampling a
+// cluster is one measurement window; for set sampling it is one group of
+// sampled cache sets. Clusters are the unit of variance estimation — the
+// confidence interval comes from how much the per-cluster miss ratios
+// disagree.
+type Cluster struct {
+	// Instructions is the number of instruction fetches the cluster measured.
+	Instructions int64
+	// Misses is the number of misses it observed.
+	Misses int64
+}
+
+// Estimate is a sampled miss-per-instruction estimate with a stated 95%
+// confidence interval — what the sampled sweep and replay engines return per
+// grid cell instead of a bare count.
+type Estimate struct {
+	// MPI is the combined ratio estimate: total sampled misses over total
+	// sampled instructions.
+	MPI float64
+	// CI95 is the half-width of the 95% confidence interval around MPI
+	// (absolute, in misses per instruction). 0 when the sample is exhaustive.
+	CI95 float64
+	// Coverage is the fraction of the full stream that was measured.
+	Coverage float64
+	// SampledInstructions and SampledMisses are the measured totals.
+	SampledInstructions int64
+	SampledMisses       int64
+	// TotalInstructions is the full stream length the estimate extrapolates
+	// to (measured + skipped).
+	TotalInstructions int64
+	// Clusters is the number of non-empty sampling units the interval was
+	// computed from.
+	Clusters int
+}
+
+// Contains reports whether v lies inside the estimate's 95% interval.
+func (e Estimate) Contains(v float64) bool {
+	return math.Abs(v-e.MPI) <= e.CI95
+}
+
+// RelCI95 returns the interval half-width relative to the estimate
+// (CI95/MPI), or 0 when MPI is 0.
+func (e Estimate) RelCI95() float64 {
+	if e.MPI == 0 {
+		return 0
+	}
+	return e.CI95 / e.MPI
+}
+
+// EstimateFrom combines per-cluster measurements into a ratio estimate with
+// a 95% confidence interval.
+//
+// The estimator is the standard cluster-sampling ratio estimate: with
+// cluster sizes wᵢ (instructions) and totals mᵢ (misses),
+//
+//	R̂ = Σmᵢ / Σwᵢ
+//	s² = Σ(mᵢ − R̂·wᵢ)² / (n−1)
+//	Var(R̂) = (1 − f) · s² / (n · w̄²)
+//	CI95 = t₀.₉₅(n−1) · √Var(R̂)
+//
+// where w̄ is the mean cluster size and f = popFraction is the sampled
+// fraction of the population (the finite-population correction: an
+// exhaustive sample has no sampling error, so f ≥ 1 forces CI95 = 0).
+// popFraction is the fraction of sampling units measured — 1/SetMod for set
+// sampling, the instruction coverage for time sampling.
+//
+// With fewer than two non-empty clusters there is no variance information;
+// the interval conservatively degrades to ±100% of the estimate (CI95 = R̂).
+func EstimateFrom(clusters []Cluster, totalInstructions int64, popFraction float64) Estimate {
+	var e Estimate
+	e.TotalInstructions = totalInstructions
+	var n int
+	var sumW, sumM int64
+	for _, c := range clusters {
+		if c.Instructions <= 0 {
+			continue
+		}
+		n++
+		sumW += c.Instructions
+		sumM += c.Misses
+	}
+	e.Clusters = n
+	e.SampledInstructions = sumW
+	e.SampledMisses = sumM
+	if sumW == 0 {
+		return e
+	}
+	e.MPI = float64(sumM) / float64(sumW)
+	if totalInstructions > 0 {
+		e.Coverage = float64(sumW) / float64(totalInstructions)
+	}
+	if popFraction >= 1 {
+		// Exhaustive sample: the estimate IS the population value.
+		return e
+	}
+	if popFraction < 0 {
+		popFraction = 0
+	}
+	if n < 2 {
+		e.CI95 = e.MPI
+		return e
+	}
+	var s2 float64
+	for _, c := range clusters {
+		if c.Instructions <= 0 {
+			continue
+		}
+		d := float64(c.Misses) - e.MPI*float64(c.Instructions)
+		s2 += d * d
+	}
+	s2 /= float64(n - 1)
+	wbar := float64(sumW) / float64(n)
+	variance := (1 - popFraction) * s2 / (float64(n) * wbar * wbar)
+	e.CI95 = tCrit95(n-1) * math.Sqrt(variance)
+	return e
+}
+
+// tTable holds the two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom; beyond that the normal approximation (1.96) is within half a
+// percent.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df degrees
+// of freedom.
+func tCrit95(df int) float64 {
+	if df < 1 {
+		return math.Inf(1)
+	}
+	if df <= len(tTable) {
+		return tTable[df-1]
+	}
+	return 1.96
+}

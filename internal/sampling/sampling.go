@@ -150,7 +150,10 @@ func Run(cfg cache.Config, refs []trace.Ref, plan Plan) (Result, error) {
 }
 
 // Error compares a sampled estimate against the full-trace miss ratio,
-// returning the relative error (positive = overestimate).
+// returning the relative error (positive = overestimate). A trace whose
+// exact simulation records no misses has no meaningful baseline: Error
+// returns ErrZeroBaseline (with sampled and full still filled in) instead of
+// silently reporting relErr = 0.
 func Error(cfg cache.Config, refs []trace.Ref, plan Plan) (sampled, full, relErr float64, err error) {
 	fullRes, err := Run(cfg, refs, Plan{Window: 1, Period: 1, Mode: Warm})
 	if err != nil {
@@ -162,8 +165,9 @@ func Error(cfg cache.Config, refs []trace.Ref, plan Plan) (sampled, full, relErr
 	}
 	full = fullRes.MPI()
 	sampled = s.MPI()
-	if full != 0 {
-		relErr = (sampled - full) / full
+	if full == 0 {
+		return sampled, full, 0, ErrZeroBaseline
 	}
+	relErr = (sampled - full) / full
 	return sampled, full, relErr, nil
 }

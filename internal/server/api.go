@@ -25,6 +25,66 @@ type CellSpec struct {
 	Assoc int `json:"assoc"`
 }
 
+// SamplingSpec asks for sampled (reduced-fidelity, bounded-error) execution
+// instead of an exact simulation. Exactly one dimension must be chosen:
+//
+//   - Set: set sampling — only the cache sets whose index is congruent to a
+//     fixed class mod Set are simulated (exact within the subset, ~Set times
+//     less work). Sweep requests only; Set must not exceed the grid's
+//     smallest set count.
+//   - Window/Period: time sampling — the first Window of every Period
+//     instructions are measured. Valid for sweeps and replays. Skip skips
+//     the unmeasured spans entirely (fastest, small stale-state bias)
+//     instead of warming through them.
+//
+// Sampled responses carry a SamplingInfo block and per-cell / per-engine
+// MPI estimates with 95% confidence intervals.
+type SamplingSpec struct {
+	Set    int   `json:"set,omitempty"`
+	Window int64 `json:"window,omitempty"`
+	Period int64 `json:"period,omitempty"`
+	Skip   bool  `json:"skip,omitempty"`
+}
+
+// timeMode reports whether the spec uses time sampling.
+func (sp SamplingSpec) timeMode() bool { return sp.Window != 0 || sp.Period != 0 }
+
+// validate checks the spec's internal consistency.
+func (sp SamplingSpec) validate() error {
+	setMode := sp.Set != 0
+	switch {
+	case setMode && sp.timeMode():
+		return fmt.Errorf("sampling: set and window/period are mutually exclusive")
+	case !setMode && !sp.timeMode():
+		return fmt.Errorf("sampling: choose set sampling (set) or time sampling (window, period)")
+	case setMode && (sp.Set <= 1 || sp.Set&(sp.Set-1) != 0):
+		return fmt.Errorf("sampling: set %d must be a power of two > 1", sp.Set)
+	case setMode && sp.Skip:
+		return fmt.Errorf("sampling: skip applies to time sampling only")
+	case sp.timeMode() && sp.Window <= 0:
+		return fmt.Errorf("sampling: window %d must be positive", sp.Window)
+	case sp.timeMode() && sp.Period < sp.Window:
+		return fmt.Errorf("sampling: period %d < window %d", sp.Period, sp.Window)
+	}
+	return nil
+}
+
+// SamplingInfo reports a sampled answer's statistics: what fraction of the
+// work was measured and how wide the intervals came out.
+type SamplingInfo struct {
+	// Mode is "set" or "time".
+	Mode string `json:"mode"`
+	// Coverage is the measured fraction of the full trace (or set
+	// population).
+	Coverage float64 `json:"coverage"`
+	// CI95 is the mean per-cell (or per-engine) 95% confidence half-width
+	// on MPI, in misses-per-instruction units.
+	CI95 float64 `json:"ci95"`
+	// MeasuredInstructions is the instruction count actually simulated and
+	// counted.
+	MeasuredInstructions int64 `json:"measured_instructions"`
+}
+
 // SweepRequest asks for the exact per-cell LRU miss counts of a capacity ×
 // associativity grid over one workload's instruction trace — one
 // single-pass sweep (internal/sweep).
@@ -44,6 +104,9 @@ type SweepRequest struct {
 	// CountDistinct additionally counts distinct lines (compulsory
 	// misses).
 	CountDistinct bool `json:"count_distinct,omitempty"`
+	// Sampling, when non-nil, asks for sampled execution with confidence
+	// intervals instead of an exact sweep.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
 	// TimeoutMillis bounds the request's wall-clock time; 0 uses the
 	// server default.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
@@ -55,6 +118,11 @@ type CellResult struct {
 	Assoc     int   `json:"assoc"`
 	SizeBytes int   `json:"size_bytes"`
 	Misses    int64 `json:"misses"`
+	// MPI and CI95 are the extrapolated misses-per-instruction estimate and
+	// its 95% half-width; present on sampled responses only (on exact
+	// responses Misses/Accesses is the answer).
+	MPI  float64 `json:"mpi,omitempty"`
+	CI95 float64 `json:"ci95,omitempty"`
 }
 
 // SweepResponse is the miss matrix of one sweep.
@@ -66,11 +134,15 @@ type SweepResponse struct {
 	Accesses     int64        `json:"accesses"`
 	Distinct     int64        `json:"distinct,omitempty"`
 	Cells        []CellResult `json:"cells"`
-	// Degraded marks a reduced-fidelity answer (clamped scale or a
-	// streaming over-budget fallback); DegradedReason says why.
-	Degraded       bool    `json:"degraded"`
-	DegradedReason string  `json:"degraded_reason,omitempty"`
-	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Degraded marks a reduced-fidelity answer (clamped scale, an automatic
+	// sampling tier, or a streaming over-budget fallback); DegradedReason
+	// says why.
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Sampling is present when the answer was computed by sampled
+	// simulation (requested or engaged automatically).
+	Sampling       *SamplingInfo `json:"sampling,omitempty"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
 }
 
 // LinkSpec selects a memory link: either a named baseline or explicit
@@ -146,11 +218,15 @@ func (e EngineSpec) build() (fetch.Engine, error) {
 // ReplayRequest asks for one workload's trace to be fanned out through a
 // bank of fetch engines (internal/replay) and each engine's Result.
 type ReplayRequest struct {
-	Workload      string       `json:"workload"`
-	Seed          uint64       `json:"seed,omitempty"`
-	Instructions  int64        `json:"instructions,omitempty"`
-	Engines       []EngineSpec `json:"engines"`
-	TimeoutMillis int64        `json:"timeout_ms,omitempty"`
+	Workload     string       `json:"workload"`
+	Seed         uint64       `json:"seed,omitempty"`
+	Instructions int64        `json:"instructions,omitempty"`
+	Engines      []EngineSpec `json:"engines"`
+	// Sampling, when non-nil, asks for sampled execution. Replay banks mix
+	// line sizes and prefetching engines, so only time sampling is valid
+	// here; set sampling is a sweep-request knob.
+	Sampling      *SamplingSpec `json:"sampling,omitempty"`
+	TimeoutMillis int64         `json:"timeout_ms,omitempty"`
 }
 
 // EngineResult is one engine's accumulated counters, in bank order.
@@ -161,6 +237,10 @@ type EngineResult struct {
 	StallCycles  int64   `json:"stall_cycles"`
 	CPI          float64 `json:"cpi"`
 	MPI          float64 `json:"mpi"`
+	// CI95 is the 95% half-width on MPI; present on sampled responses only
+	// (the counters above then cover the measured windows, extrapolated by
+	// MPI).
+	CI95 float64 `json:"ci95,omitempty"`
 }
 
 // ReplayResponse is the bank's results in engine order.
@@ -171,7 +251,10 @@ type ReplayResponse struct {
 	Results        []EngineResult `json:"results"`
 	Degraded       bool           `json:"degraded"`
 	DegradedReason string         `json:"degraded_reason,omitempty"`
-	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	// Sampling is present when the answer was computed by sampled
+	// simulation (requested or engaged automatically).
+	Sampling       *SamplingInfo `json:"sampling,omitempty"`
+	ElapsedSeconds float64       `json:"elapsed_seconds"`
 }
 
 // ExhibitRequest parameterizes GET /v1/exhibit/{name}; the fields travel as

@@ -20,10 +20,15 @@
 //   - Panic isolation: a handler panic (including a worker panic surfaced
 //     as *experiments.WorkerError) becomes a structured 500; the daemon
 //     never dies with a request.
-//   - Graceful degradation: when the trace store is over its hard budget
-//     the sweep/replay paths fall back to streaming regeneration in O(1)
-//     memory, and requests with near deadlines run at reduced fidelity;
-//     every such answer carries an explicit "degraded": true marker.
+//   - Graceful degradation, in tiers: requests beyond the server maxima are
+//     clamped; when the trace store cannot materialize the full trace the
+//     sweep/replay paths first engage sampled simulation over the
+//     run-compacted trace (reduced fidelity with explicit 95% confidence
+//     intervals — the "sampling" tier, also available on request via the
+//     sampling knob), and only when even the compacted trace is over budget
+//     fall back to streaming regeneration in O(1) memory; requests with
+//     near deadlines run at reduced scale. Every such answer carries an
+//     explicit "degraded": true marker.
 //   - Graceful shutdown: Run drains in-flight requests on context
 //     cancellation (SIGTERM in cmd/ibsimd) before returning.
 package server
@@ -184,7 +189,7 @@ type Server struct {
 	vars                                    *expvar.Map
 	mRequests, mAdmitted, mRejected, mDedup expvar.Int
 	mQueueTimeouts, mDegraded, mPanics      expvar.Int
-	mCanceled                               expvar.Int
+	mCanceled, mSampled                     expvar.Int
 }
 
 // New builds a Server from cfg.
@@ -206,6 +211,7 @@ func New(cfg Config) *Server {
 	s.vars.Set("degraded_total", &s.mDegraded)
 	s.vars.Set("panics_recovered_total", &s.mPanics)
 	s.vars.Set("canceled_total", &s.mCanceled)
+	s.vars.Set("sampling_tier_total", &s.mSampled)
 	s.vars.Set("inflight_bytes", expvar.Func(func() any { return s.limiter.Used() }))
 	s.vars.Set("admission_queue", expvar.Func(func() any { return s.limiter.Queued() }))
 	s.vars.Set("ready", expvar.Func(func() any { return s.ready.Load() }))
@@ -585,6 +591,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		cells[i] = sweep.Cell{Sets: c.Sets, Assoc: c.Assoc}
 	}
+	if req.Sampling != nil {
+		if err := req.Sampling.validate(); err != nil {
+			s.writeError(w, ErrorDetail{Status: http.StatusBadRequest, Kind: "bad-request", Message: err.Error()})
+			return
+		}
+		if req.Sampling.Set > 1 {
+			for i, c := range cells {
+				if c.Sets < req.Sampling.Set {
+					s.writeError(w, ErrorDetail{Status: http.StatusBadRequest, Kind: "bad-request",
+						Message: fmt.Sprintf("sampling: cell %d has %d sets < set-sampling modulus %d (sampled lines would not cover whole sets)", i, c.Sets, req.Sampling.Set)})
+					return
+				}
+			}
+		}
+	}
 
 	timeout := s.timeoutFor(req.TimeoutMillis)
 	n, _, reason := s.clampScale(req.Instructions, 0, timeout)
@@ -595,7 +616,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.execute(w, r, "run:sweep", key, weight, timeout, func(ctx context.Context) runOutcome {
 		start := time.Now()
 		p := sweep.Pass{LineSize: req.LineSize, Cells: cells, CountDistinct: req.CountDistinct, Ctx: ctx}
-		m, degraded, why, err := s.sweepMatrix(ctx, p, prof, req.Seed, n)
+		m, sm, mode, degraded, why, err := s.sweepMatrix(ctx, p, prof, req.Seed, n, req.Sampling)
 		if err != nil {
 			return runOutcome{err: s.errorFor(err)}
 		}
@@ -604,40 +625,161 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Workload:       prof.Name,
 			Seed:           req.Seed,
 			Instructions:   n,
-			LineSize:       m.LineSize,
-			Accesses:       m.Accesses,
-			Distinct:       m.Distinct,
-			Cells:          make([]CellResult, len(m.Cells)),
 			Degraded:       degraded,
 			DegradedReason: joinReasons(reason, why),
-			ElapsedSeconds: time.Since(start).Seconds(),
 		}
-		for i, c := range m.Cells {
-			resp.Cells[i] = CellResult{Sets: c.Sets, Assoc: c.Assoc, SizeBytes: c.Size(m.LineSize), Misses: m.Misses[i]}
+		if sm != nil {
+			resp.LineSize = sm.LineSize
+			resp.Accesses = sm.SampledInstructions
+			resp.Distinct = sm.Distinct
+			resp.Cells = make([]CellResult, len(sm.Cells))
+			var ci float64
+			for i, c := range sm.Cells {
+				est := sm.Estimates[i]
+				resp.Cells[i] = CellResult{Sets: c.Sets, Assoc: c.Assoc, SizeBytes: c.Size(sm.LineSize),
+					Misses: sm.Misses[i], MPI: est.MPI, CI95: est.CI95}
+				ci += est.CI95
+			}
+			resp.Sampling = &SamplingInfo{
+				Mode:                 mode,
+				Coverage:             sm.Coverage(),
+				CI95:                 ci / float64(len(sm.Cells)),
+				MeasuredInstructions: sm.SampledInstructions,
+			}
+		} else {
+			resp.LineSize = m.LineSize
+			resp.Accesses = m.Accesses
+			resp.Distinct = m.Distinct
+			resp.Cells = make([]CellResult, len(m.Cells))
+			for i, c := range m.Cells {
+				resp.Cells[i] = CellResult{Sets: c.Sets, Assoc: c.Assoc, SizeBytes: c.Size(m.LineSize), Misses: m.Misses[i]}
+			}
 		}
+		resp.ElapsedSeconds = time.Since(start).Seconds()
 		return runOutcome{value: resp, degraded: degraded}
 	})
 }
 
-// sweepMatrix runs one pass, degrading to streaming regeneration when the
-// store refuses to materialize the trace.
-func (s *Server) sweepMatrix(ctx context.Context, p sweep.Pass, prof synth.Profile, seed uint64, n int64) (m *sweep.Matrix, degraded bool, reason string, err error) {
+// The automatic sampling tier's policy knobs: 1/16 of the sets (halved until
+// the grid's smallest cell can cover whole sets), or — when the grid cannot
+// support set sampling at all — skip-mode time sampling at 1/16 coverage with
+// Instructions/256 windows. Skip (not warm) because warm replay still walks
+// the whole trace; only skipping buys the tier its speed.
+const (
+	autoSetMod    = 16
+	autoSetMatch  = 3
+	autoWindowDiv = 256
+	autoPeriodMul = 16
+	autoMinWindow = 64
+)
+
+// autoWindow sizes the automatic tier's measurement window.
+func autoWindow(n int64) int64 {
+	w := n / autoWindowDiv
+	if w < autoMinWindow {
+		w = autoMinWindow
+	}
+	return w
+}
+
+// autoSweepSpec picks the automatic sampling policy for a sweep grid.
+func autoSweepSpec(cells []sweep.Cell, n int64) SamplingSpec {
+	minSets := cells[0].Sets
+	for _, c := range cells[1:] {
+		if c.Sets < minSets {
+			minSets = c.Sets
+		}
+	}
+	mod := autoSetMod
+	for mod > minSets {
+		mod >>= 1
+	}
+	if mod > 1 {
+		return SamplingSpec{Set: mod}
+	}
+	w := autoWindow(n)
+	return SamplingSpec{Window: w, Period: autoPeriodMul * w, Skip: true}
+}
+
+// mode names the spec's sampling dimension for SamplingInfo.
+func (sp SamplingSpec) mode() string {
+	if sp.Set > 1 {
+		return "set"
+	}
+	return "time"
+}
+
+// sampledSweep runs one sampled pass over the run-compacted trace. The
+// compacted trace is ~6x smaller than the ref trace, which is exactly why
+// this is the mid-tier: requests whose refs are over the store budget
+// usually still fit as runs.
+func (s *Server) sampledSweep(ctx context.Context, p sweep.Pass, prof synth.Profile, seed uint64, n int64, spec SamplingSpec) (*sweep.SampledMatrix, error) {
+	runs, release, err := s.store.RunsOnly(ctx, prof, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sp := sweep.SampledPass{LineSize: p.LineSize, Cells: p.Cells, CountDistinct: p.CountDistinct, Ctx: ctx}
+	if spec.Set > 1 {
+		sp.SetMod = spec.Set
+		sp.SetMatch = autoSetMatch % spec.Set
+	} else {
+		sp.Window, sp.Period, sp.Warm = spec.Window, spec.Period, !spec.Skip
+	}
+	return sp.Run(runs)
+}
+
+// sweepMatrix answers one sweep through the degradation ladder. A request
+// carrying an explicit sampling spec runs sampled from the start (not
+// degraded: reduced fidelity was the ask). Otherwise: exact over the
+// materialized trace; if the store refuses, the sampling tier (auto-policy
+// sampled pass over the run-compacted trace, explicit intervals, degraded);
+// if even the compacted trace is over budget, streaming regeneration.
+func (s *Server) sweepMatrix(ctx context.Context, p sweep.Pass, prof synth.Profile, seed uint64, n int64, spec *SamplingSpec) (m *sweep.Matrix, sm *sweep.SampledMatrix, mode string, degraded bool, reason string, err error) {
+	if spec != nil {
+		sm, err = s.sampledSweep(ctx, p, prof, seed, n, *spec)
+		if err == nil {
+			return nil, sm, spec.mode(), false, "", nil
+		}
+		if !errors.Is(err, synth.ErrOverBudget) {
+			return nil, nil, "", false, "", err
+		}
+		m, err = s.streamedSweep(ctx, p, prof, seed, n)
+		return m, nil, "", true,
+			"sampling requested but even the run-compacted trace exceeds the store's hard budget; streamed an exact answer instead", err
+	}
 	refs, release, err := s.store.InstrCtx(ctx, prof, seed, n)
 	if err == nil {
 		defer release()
 		m, err = p.Run(refs)
-		return m, false, "", err
+		return m, nil, "", false, "", err
 	}
 	if !errors.Is(err, synth.ErrOverBudget) {
-		return nil, false, "", err
+		return nil, nil, "", false, "", err
 	}
-	src, srelease, serr := s.store.Source(prof, seed, n)
-	if serr != nil {
-		return nil, false, "", serr
+	auto := autoSweepSpec(p.Cells, n)
+	sm, err = s.sampledSweep(ctx, p, prof, seed, n, auto)
+	if err == nil {
+		s.mSampled.Add(1)
+		return nil, sm, auto.mode(), true,
+			"trace exceeds the store's hard budget; answered by sampled simulation over the run-compacted trace (95% confidence intervals attached)", nil
 	}
-	defer srelease()
-	m, err = p.RunSource(&ctxSource{src: src, ctx: ctx})
-	return m, true, "trace exceeds the store's hard budget; streamed without materializing", err
+	if !errors.Is(err, synth.ErrOverBudget) {
+		return nil, nil, "", false, "", err
+	}
+	m, err = s.streamedSweep(ctx, p, prof, seed, n)
+	return m, nil, "", true, "trace exceeds the store's hard budget; streamed without materializing", err
+}
+
+// streamedSweep is the last rung: an exact pass over streaming regeneration
+// in O(1) memory.
+func (s *Server) streamedSweep(ctx context.Context, p sweep.Pass, prof synth.Profile, seed uint64, n int64) (*sweep.Matrix, error) {
+	src, release, err := s.store.Source(prof, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return p.RunSource(&ctxSource{src: src, ctx: ctx})
 }
 
 // --- /v1/replay ---------------------------------------------------------
@@ -666,6 +808,17 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Sampling != nil {
+		if err := req.Sampling.validate(); err != nil {
+			s.writeError(w, ErrorDetail{Status: http.StatusBadRequest, Kind: "bad-request", Message: err.Error()})
+			return
+		}
+		if req.Sampling.Set != 0 {
+			s.writeError(w, ErrorDetail{Status: http.StatusBadRequest, Kind: "bad-request",
+				Message: "sampling: set sampling is a sweep-request knob; replay banks mix line sizes and prefetchers, use time sampling (window, period)"})
+			return
+		}
+	}
 
 	timeout := s.timeoutFor(req.TimeoutMillis)
 	n, _, reason := s.clampScale(req.Instructions, 0, timeout)
@@ -683,7 +836,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			}
 			engines[i] = e
 		}
-		results, degraded, why, err := s.replayBank(ctx, prof, req.Seed, n, engines)
+		results, sampled, degraded, why, err := s.replayBank(ctx, prof, req.Seed, n, engines, req.Sampling)
 		if err != nil {
 			return runOutcome{err: s.errorFor(err)}
 		}
@@ -692,48 +845,115 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 			Workload:       prof.Name,
 			Seed:           req.Seed,
 			Instructions:   n,
-			Results:        make([]EngineResult, len(results)),
 			Degraded:       degraded,
 			DegradedReason: joinReasons(reason, why),
-			ElapsedSeconds: time.Since(start).Seconds(),
 		}
-		for i, res := range results {
-			resp.Results[i] = EngineResult{
-				Instructions: res.Instructions, Misses: res.Misses, BufferHits: res.BufferHits,
-				StallCycles: res.StallCycles, CPI: res.CPIinstr(), MPI: res.MPI(),
+		if sampled != nil {
+			resp.Results = make([]EngineResult, len(sampled))
+			var ci float64
+			for i, sr := range sampled {
+				resp.Results[i] = EngineResult{
+					Instructions: sr.Measured.Instructions, Misses: sr.Measured.Misses,
+					BufferHits: sr.Measured.BufferHits, StallCycles: sr.Measured.StallCycles,
+					CPI: sr.Measured.CPIinstr(), MPI: sr.Estimate.MPI, CI95: sr.Estimate.CI95,
+				}
+				ci += sr.Estimate.CI95
+			}
+			// Coverage and the measured instruction count are properties of
+			// the shared sample schedule, identical across the bank.
+			est := sampled[0].Estimate
+			resp.Sampling = &SamplingInfo{
+				Mode:                 "time",
+				Coverage:             est.Coverage,
+				CI95:                 ci / float64(len(sampled)),
+				MeasuredInstructions: est.SampledInstructions,
+			}
+		} else {
+			resp.Results = make([]EngineResult, len(results))
+			for i, res := range results {
+				resp.Results[i] = EngineResult{
+					Instructions: res.Instructions, Misses: res.Misses, BufferHits: res.BufferHits,
+					StallCycles: res.StallCycles, CPI: res.CPIinstr(), MPI: res.MPI(),
+				}
 			}
 		}
+		resp.ElapsedSeconds = time.Since(start).Seconds()
 		return runOutcome{value: resp, degraded: degraded}
 	})
 }
 
-// replayBank fans the trace out through the engines: the memoized
-// run-compacted path when the store can materialize it, one streaming
-// regeneration per engine when it cannot (degraded).
-func (s *Server) replayBank(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine) (results []fetch.Result, degraded bool, reason string, err error) {
+// sampledReplay fans a time-sampled trace through the bank over the
+// run-compacted trace.
+func (s *Server) sampledReplay(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine, spec SamplingSpec) ([]replay.SampledResult, error) {
+	runs, release, err := s.store.RunsOnly(ctx, prof, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	plan := replay.SamplePlan{Window: spec.Window, Period: spec.Period, Warm: !spec.Skip}
+	return replay.Sampled(ctx, runs, engines, plan)
+}
+
+// replayBank fans the trace out through the engines, down the same
+// degradation ladder as sweepMatrix: an explicit sampling spec runs sampled
+// from the start (not degraded); otherwise exact over the memoized
+// run-compacted trace, then the automatic sampling tier (skip-mode time
+// sampling, degraded, intervals attached), then one streaming regeneration
+// per engine.
+func (s *Server) replayBank(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine, spec *SamplingSpec) (results []fetch.Result, sampled []replay.SampledResult, degraded bool, reason string, err error) {
+	if spec != nil {
+		sampled, err = s.sampledReplay(ctx, prof, seed, n, engines, *spec)
+		if err == nil {
+			return nil, sampled, false, "", nil
+		}
+		if !errors.Is(err, synth.ErrOverBudget) {
+			return nil, nil, false, "", err
+		}
+		results, err = s.streamedReplay(ctx, prof, seed, n, engines)
+		return results, nil, true,
+			"sampling requested but even the run-compacted trace exceeds the store's hard budget; replayed exactly from streaming regeneration", err
+	}
 	_, runs, release, err := s.store.InstrRuns(ctx, prof, seed, n)
 	if err == nil {
 		defer release()
 		results, err = replay.Replay(ctx, runs, engines)
-		return results, false, "", err
+		return results, nil, false, "", err
 	}
 	if !errors.Is(err, synth.ErrOverBudget) {
-		return nil, false, "", err
+		return nil, nil, false, "", err
 	}
-	results = make([]fetch.Result, len(engines))
+	w := autoWindow(n)
+	auto := SamplingSpec{Window: w, Period: autoPeriodMul * w, Skip: true}
+	sampled, err = s.sampledReplay(ctx, prof, seed, n, engines, auto)
+	if err == nil {
+		s.mSampled.Add(1)
+		return nil, sampled, true,
+			"trace exceeds the store's hard budget; answered by time-sampled replay over the run-compacted trace (95% confidence intervals attached)", nil
+	}
+	if !errors.Is(err, synth.ErrOverBudget) {
+		return nil, nil, false, "", err
+	}
+	results, err = s.streamedReplay(ctx, prof, seed, n, engines)
+	return results, nil, true, "trace exceeds the store's hard budget; replayed from streaming regeneration", err
+}
+
+// streamedReplay is the replay path's last rung: one exact streaming
+// regeneration per engine in O(1) memory.
+func (s *Server) streamedReplay(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine) ([]fetch.Result, error) {
+	results := make([]fetch.Result, len(engines))
 	for i, e := range engines {
-		src, srelease, serr := s.store.Source(prof, seed, n)
-		if serr != nil {
-			return nil, false, "", serr
+		src, release, err := s.store.Source(prof, seed, n)
+		if err != nil {
+			return nil, err
 		}
 		res, rerr := fetch.RunSource(e, &ctxSource{src: src, ctx: ctx})
-		srelease()
+		release()
 		if rerr != nil {
-			return nil, false, "", rerr
+			return nil, rerr
 		}
 		results[i] = res
 	}
-	return results, true, "trace exceeds the store's hard budget; replayed from streaming regeneration", nil
+	return results, nil
 }
 
 // --- /v1/exhibit --------------------------------------------------------

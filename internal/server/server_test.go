@@ -564,3 +564,198 @@ func TestExhibitClampsTrials(t *testing.T) {
 		t.Fatalf("trials clamp not reported: degraded=%v trials=%d", got.Degraded, got.Trials)
 	}
 }
+
+// --- sampling tier ------------------------------------------------------
+
+// The sampling knob: an explicit sampling spec returns estimates with
+// confidence intervals and a SamplingInfo block, NOT marked degraded —
+// reduced fidelity was the ask.
+func TestSamplingKnob(t *testing.T) {
+	_, ts := testServer(t, nil)
+
+	// Exact baseline for the accuracy cross-check.
+	exactReq := SweepRequest{Workload: "eqntott", Instructions: 100_000, LineSize: 32,
+		Cells: []CellSpec{{Sets: 256, Assoc: 1}, {Sets: 1024, Assoc: 1}}}
+	var exact SweepResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/sweep", exactReq, &exact); code != 200 {
+		t.Fatalf("exact sweep = %d: %s", code, raw)
+	}
+	if exact.Sampling != nil {
+		t.Fatal("exact sweep response carries a sampling block")
+	}
+
+	sreq := exactReq
+	sreq.Sampling = &SamplingSpec{Set: 16}
+	var sset SweepResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/sweep", sreq, &sset); code != 200 {
+		t.Fatalf("set-sampled sweep = %d: %s", code, raw)
+	}
+	if sset.Degraded {
+		t.Errorf("requested sampling marked degraded: %q", sset.DegradedReason)
+	}
+	if sset.Sampling == nil || sset.Sampling.Mode != "set" {
+		t.Fatalf("sampling info = %+v, want mode set", sset.Sampling)
+	}
+	if c := sset.Sampling.Coverage; c <= 0 || c > 0.2 {
+		t.Errorf("set-sampled coverage %v outside (0, 0.2]", c)
+	}
+	for i, c := range sset.Cells {
+		exactMPI := float64(exact.Cells[i].Misses) / float64(exact.Accesses)
+		if c.MPI <= 0 || c.CI95 <= 0 {
+			t.Errorf("cell %d: sampled MPI %v / CI95 %v not populated", i, c.MPI, c.CI95)
+		}
+		tol := 3 * c.CI95
+		if fl := 0.5 * exactMPI; tol < fl {
+			tol = fl
+		}
+		if d := c.MPI - exactMPI; d < -tol || d > tol {
+			t.Errorf("cell %d: sampled MPI %v vs exact %v beyond tolerance %v", i, c.MPI, exactMPI, tol)
+		}
+	}
+
+	treq := exactReq
+	treq.Sampling = &SamplingSpec{Window: 1000, Period: 4000}
+	var stime SweepResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/sweep", treq, &stime); code != 200 {
+		t.Fatalf("time-sampled sweep = %d: %s", code, raw)
+	}
+	if stime.Sampling == nil || stime.Sampling.Mode != "time" {
+		t.Fatalf("sampling info = %+v, want mode time", stime.Sampling)
+	}
+	if c := stime.Sampling.Coverage; c < 0.2 || c > 0.3 {
+		t.Errorf("warm time coverage %v, want ~0.25", c)
+	}
+
+	rreq := ReplayRequest{Workload: "eqntott", Instructions: 100_000,
+		Engines:  []EngineSpec{{Size: 8192, LineSize: 32, Assoc: 1, Link: LinkSpec{Name: "economy"}}},
+		Sampling: &SamplingSpec{Window: 1000, Period: 4000, Skip: true}}
+	var rresp ReplayResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/replay", rreq, &rresp); code != 200 {
+		t.Fatalf("sampled replay = %d: %s", code, raw)
+	}
+	if rresp.Degraded {
+		t.Errorf("requested sampling marked degraded: %q", rresp.DegradedReason)
+	}
+	if rresp.Sampling == nil || rresp.Sampling.Mode != "time" {
+		t.Fatalf("replay sampling info = %+v, want mode time", rresp.Sampling)
+	}
+	if got := rresp.Results[0]; got.MPI <= 0 || got.CI95 <= 0 {
+		t.Errorf("sampled engine result missing estimate: %+v", got)
+	}
+	if m := rresp.Sampling.MeasuredInstructions; m <= 0 || m >= 100_000 {
+		t.Errorf("measured instructions %d, want a strict subset of the trace", m)
+	}
+}
+
+// Malformed sampling specs are structured 400s, including the replay-side
+// rejection of set sampling and a modulus the grid cannot cover.
+func TestSamplingSpecValidation(t *testing.T) {
+	_, ts := testServer(t, nil)
+	sweepURL, replayURL := ts.URL+"/v1/sweep", ts.URL+"/v1/replay"
+	cells := []CellSpec{{Sets: 64, Assoc: 1}}
+	engines := []EngineSpec{{Size: 8192, LineSize: 32, Assoc: 1, Link: LinkSpec{Name: "economy"}}}
+	cases := []struct {
+		name string
+		url  string
+		body any
+	}{
+		{"both dimensions", sweepURL, SweepRequest{Workload: "sed", LineSize: 32, Cells: cells,
+			Sampling: &SamplingSpec{Set: 16, Window: 100, Period: 400}}},
+		{"neither dimension", sweepURL, SweepRequest{Workload: "sed", LineSize: 32, Cells: cells,
+			Sampling: &SamplingSpec{}}},
+		{"non-power-of-two set", sweepURL, SweepRequest{Workload: "sed", LineSize: 32, Cells: cells,
+			Sampling: &SamplingSpec{Set: 3}}},
+		{"set exceeds grid", sweepURL, SweepRequest{Workload: "sed", LineSize: 32, Cells: cells,
+			Sampling: &SamplingSpec{Set: 128}}},
+		{"period below window", sweepURL, SweepRequest{Workload: "sed", LineSize: 32, Cells: cells,
+			Sampling: &SamplingSpec{Window: 400, Period: 100}}},
+		{"skip with set mode", sweepURL, SweepRequest{Workload: "sed", LineSize: 32, Cells: cells,
+			Sampling: &SamplingSpec{Set: 16, Skip: true}}},
+		{"set sampling on replay", replayURL, ReplayRequest{Workload: "sed", Engines: engines,
+			Sampling: &SamplingSpec{Set: 16}}},
+	}
+	for _, tc := range cases {
+		code, raw := postJSON(t, tc.url, tc.body, nil)
+		if code != 400 || errKind(t, raw) != "bad-request" {
+			t.Errorf("%s: got %d %s, want structured 400", tc.name, code, raw)
+		}
+	}
+}
+
+// The degradation ladder engages in order: a store that cannot hold the ref
+// trace but can hold its run compaction answers from the sampling tier
+// (degraded, intervals attached); only when even the runs are over budget
+// does the server fall to streaming regeneration.
+func TestSamplingTierEngagesBeforeStreaming(t *testing.T) {
+	// eqntott at 100k: refs 1.6 MB, run compaction ~210 KB. 512 KiB sits
+	// between the two.
+	const midBudget, tinyBudget = 1 << 19, 1 << 10
+	run := func(t *testing.T, hardBudget int64) (*Server, SweepResponse, ReplayResponse) {
+		t.Helper()
+		s, ts := testServer(t, func(c *Config) {
+			c.Store = synth.NewStoreLimits(1<<26, hardBudget)
+		})
+		sreq := SweepRequest{Workload: "eqntott", Instructions: 100_000, LineSize: 32,
+			Cells: []CellSpec{{Sets: 256, Assoc: 1}, {Sets: 1024, Assoc: 1}}}
+		var sresp SweepResponse
+		if code, raw := postJSON(t, ts.URL+"/v1/sweep", sreq, &sresp); code != 200 {
+			t.Fatalf("sweep = %d: %s", code, raw)
+		}
+		rreq := ReplayRequest{Workload: "eqntott", Instructions: 100_000,
+			Engines: []EngineSpec{{Size: 8192, LineSize: 32, Assoc: 1, Link: LinkSpec{Name: "economy"}}}}
+		var rresp ReplayResponse
+		if code, raw := postJSON(t, ts.URL+"/v1/replay", rreq, &rresp); code != 200 {
+			t.Fatalf("replay = %d: %s", code, raw)
+		}
+		return s, sresp, rresp
+	}
+
+	s, midSweep, midReplay := run(t, midBudget)
+	for name, resp := range map[string]struct {
+		degraded bool
+		reason   string
+		sampling *SamplingInfo
+	}{
+		"sweep":  {midSweep.Degraded, midSweep.DegradedReason, midSweep.Sampling},
+		"replay": {midReplay.Degraded, midReplay.DegradedReason, midReplay.Sampling},
+	} {
+		if !resp.degraded {
+			t.Errorf("%s: mid-budget store did not degrade", name)
+		}
+		if resp.sampling == nil {
+			t.Fatalf("%s: mid-budget answer has no sampling block (reason %q)", name, resp.reason)
+		}
+		if resp.sampling.CI95 <= 0 {
+			t.Errorf("%s: sampling tier CI95 %v, want > 0", name, resp.sampling.CI95)
+		}
+		if !strings.Contains(resp.reason, "sampled") {
+			t.Errorf("%s: reason %q does not say the answer is sampled", name, resp.reason)
+		}
+	}
+	if got := s.mSampled.Value(); got != 2 {
+		t.Errorf("sampling_tier_total = %d, want 2", got)
+	}
+	// Sweeps pick set sampling when the grid supports it; replay banks use
+	// skip-mode time sampling (the only plan that is actually faster).
+	if midSweep.Sampling.Mode != "set" {
+		t.Errorf("auto sweep mode %q, want set", midSweep.Sampling.Mode)
+	}
+	if midReplay.Sampling.Mode != "time" {
+		t.Errorf("auto replay mode %q, want time", midReplay.Sampling.Mode)
+	}
+
+	_, tinySweep, tinyReplay := run(t, tinyBudget)
+	if !tinySweep.Degraded || !tinyReplay.Degraded {
+		t.Fatal("tiny-budget store did not degrade")
+	}
+	if tinySweep.Sampling != nil || tinyReplay.Sampling != nil {
+		t.Error("tiny-budget store should stream exactly, not sample")
+	}
+	for name, reason := range map[string]string{
+		"sweep": tinySweep.DegradedReason, "replay": tinyReplay.DegradedReason,
+	} {
+		if !strings.Contains(reason, "stream") {
+			t.Errorf("%s: tiny-budget reason %q does not mention streaming", name, reason)
+		}
+	}
+}

@@ -217,6 +217,21 @@ func (p Pass) RunSource(src trace.Source) (*Matrix, error) {
 // optional first-touch set, and the line-size shift shared by Run and
 // RunSource.
 func (p Pass) prepare() (*Matrix, []*group, *lineSet, uint, error) {
+	m, groups, seen, shift, err := p.prepareCore()
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	for _, g := range groups {
+		// Stacks are row-major per set; key 0 marks an empty slot, so line
+		// addresses are stored offset by one.
+		g.stack = make([]uint64, (int(g.mask)+1)*g.amax)
+	}
+	return m, groups, seen, shift, nil
+}
+
+// prepareCore is prepare without the stack allocation, for passes (the
+// sampled sweep) that lay stacks out differently.
+func (p Pass) prepareCore() (*Matrix, []*group, *lineSet, uint, error) {
 	if p.LineSize <= 0 || p.LineSize&(p.LineSize-1) != 0 {
 		return nil, nil, nil, 0, fmt.Errorf("sweep: line size %d must be a positive power of two", p.LineSize)
 	}
@@ -247,11 +262,6 @@ func (p Pass) prepare() (*Matrix, []*group, *lineSet, uint, error) {
 			g.amax = c.Assoc
 		}
 		g.cells = append(g.cells, groupCell{assoc: c.Assoc, out: i})
-	}
-	for _, g := range groups {
-		// Stacks are row-major per set; key 0 marks an empty slot, so line
-		// addresses are stored offset by one.
-		g.stack = make([]uint64, (int(g.mask)+1)*g.amax)
 	}
 	var seen *lineSet
 	if p.CountDistinct {

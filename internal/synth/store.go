@@ -32,6 +32,10 @@ type storeKey struct {
 	prof Profile
 	seed uint64
 	n    int64
+	// runsOnly marks entries holding only the run-length compaction (no
+	// per-reference slice) — RunsOnly's key space, disjoint from Instr's so
+	// a budget admitting the runs never aliases an entry holding the refs.
+	runsOnly bool
 }
 
 // storeEntry is one memoized trace with its reference count.
@@ -227,6 +231,97 @@ func (s *Store) InstrRuns(ctx context.Context, prof Profile, seed uint64, n int6
 		s.mu.Unlock()
 	})
 	return refs, e.runs, release, nil
+}
+
+// RunsOnly returns prof's run-length-compacted instruction trace for
+// (seed, n) WITHOUT materializing the per-reference stream: generation
+// streams through an incremental trace.Compactor, so peak memory is O(runs)
+// — typically a few percent of the refs (instruction fetch is overwhelmingly
+// sequential). This is the sampling degradation tier's trace path: a request
+// whose refs exceed the hard budget usually still fits as runs. Unlike Instr,
+// the hard budget is enforced against the ACTUAL compacted size as it grows,
+// not a worst-case estimate; a pathologically non-sequential stream aborts
+// with ErrOverBudget mid-generation. The slice is shared and read-only; the
+// release function must be called exactly once.
+func (s *Store) RunsOnly(ctx context.Context, prof Profile, seed uint64, n int64) ([]trace.Run, func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	key := storeKey{prof: prof, seed: seed, n: n, runsOnly: true}
+	key.prof.Data = DataProfile{}
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.stats.Hits++
+		if e.refcount == 0 {
+			s.idleBytes -= entryBytes(e)
+		}
+		e.refcount++
+		s.tick++
+		e.lastUse = s.tick
+		s.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			s.release(key, e)
+			return nil, nil, ctx.Err()
+		}
+		if e.err != nil {
+			s.release(key, e)
+			return nil, nil, e.err
+		}
+		return e.runs, s.releaseOnce(key, e), nil
+	}
+	s.stats.Misses++
+	e = &storeEntry{ready: make(chan struct{}), refcount: 1}
+	s.tick++
+	e.lastUse = s.tick
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	e.runs, e.err = s.compactStream(prof, seed, n)
+	close(e.ready)
+	if e.err != nil {
+		s.release(key, e)
+		return nil, nil, e.err
+	}
+	return e.runs, s.releaseOnce(key, e), nil
+}
+
+// budgetCheckMask sets how often compactStream re-checks the growing
+// compaction against the hard budget (every 4K instructions).
+const budgetCheckMask = 1<<12 - 1
+
+// compactStream generates prof's instruction stream and compacts it on the
+// fly, enforcing the store's hard budget against the runs actually retained.
+func (s *Store) compactStream(prof Profile, seed uint64, n int64) ([]trace.Run, error) {
+	src, err := InstrSource(prof, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	var c trace.Compactor
+	var i int64
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		c.Add(r)
+		if i&budgetCheckMask == 0 && s.hardBudget > 0 && int64(c.Len())*runBytes > s.hardBudget {
+			return nil, fmt.Errorf("%w: run compaction of %d instructions already needs over %d bytes",
+				ErrOverBudget, n, s.hardBudget)
+		}
+		i++
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	runs := c.Finish()
+	if s.hardBudget > 0 && int64(len(runs))*runBytes > s.hardBudget {
+		return nil, fmt.Errorf("%w: %d runs need %d bytes, budget %d",
+			ErrOverBudget, len(runs), int64(len(runs))*runBytes, s.hardBudget)
+	}
+	return runs, nil
 }
 
 // Source returns a trace.Source over prof's instruction stream for

@@ -382,3 +382,91 @@ func TestStoreInstrRunsConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreRunsOnlyMatchesCompact(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultIdleBudget)
+	runs, release, err := s.RunsOnly(context.Background(), p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := InstrTrace(p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := trace.Compact(refs)
+	if len(runs) != len(want) {
+		t.Fatalf("RunsOnly has %d runs, trace.Compact %d", len(runs), len(want))
+	}
+	for i := range runs {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d: %+v != %+v", i, runs[i], want[i])
+		}
+	}
+	// Second acquire shares the memoized slice.
+	runs2, release2, err := s.RunsOnly(context.Background(), p, 0, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &runs2[0] != &runs[0] {
+		t.Fatal("second RunsOnly did not share the entry")
+	}
+	release()
+	release2()
+	if got, want := s.Stats().IdleBytes, int64(len(runs))*runBytes; got != want {
+		t.Fatalf("idle bytes %d, want %d (runs only, no refs)", got, want)
+	}
+}
+
+func TestStoreRunsOnlyFitsWhereRefsDoNot(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	// Budget far below the refs footprint but comfortably above the actual
+	// compaction (sequential fetch compacts ~10x; runBytes ~1.5x refBytes).
+	s := NewStoreLimits(DefaultIdleBudget, n*refBytes/2)
+	if _, _, err := s.Instr(p, 0, n); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("Instr err = %v, want ErrOverBudget", err)
+	}
+	runs, release, err := s.RunsOnly(context.Background(), p, 0, n)
+	if err != nil {
+		t.Fatalf("RunsOnly under the same budget failed: %v", err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no runs")
+	}
+	release()
+}
+
+func TestStoreRunsOnlyOverBudget(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStoreLimits(DefaultIdleBudget, 10*runBytes)
+	if _, _, err := s.RunsOnly(context.Background(), p, 0, 50_000); !errors.Is(err, ErrOverBudget) {
+		t.Fatalf("err = %v, want ErrOverBudget", err)
+	}
+	// The failed entry must not linger.
+	if st := s.Stats(); st.Entries != 0 {
+		t.Fatalf("failed RunsOnly left %d entries", st.Entries)
+	}
+}
+
+func TestStoreRunsOnlyCancellation(t *testing.T) {
+	p, err := Lookup("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(DefaultIdleBudget)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.RunsOnly(ctx, p, 0, 1000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -72,6 +72,58 @@ func CompactAppend(dst []Run, refs []Ref) []Run {
 	return dst
 }
 
+// Compactor is an incremental Compact: references arrive one at a time (or
+// in arbitrary chunks) and runs accumulate internally, with sequential
+// stretches spanning chunk boundaries still merging into one run — exactly
+// what CompactAppend over the concatenated stream would produce. It lets a
+// streaming trace source be compacted in O(runs) memory without ever
+// materializing the reference slice (synth.Store.RunsOnly is the intended
+// consumer).
+type Compactor struct {
+	runs []Run
+	cur  Run
+	next uint64 // address extending cur; 0 also flags "no current run"
+}
+
+// Add feeds one reference; non-instruction references are ignored, matching
+// Compact.
+func (c *Compactor) Add(r Ref) {
+	if r.Kind != IFetch {
+		return
+	}
+	if c.cur.Len > 0 && r.Addr == c.next && r.Domain == c.cur.Domain && c.next != 0 {
+		c.cur.Len++
+		c.next += InstrBytes
+		return
+	}
+	if c.cur.Len > 0 {
+		c.runs = append(c.runs, c.cur)
+	}
+	c.cur = Run{Start: r.Addr, Len: 1, Domain: r.Domain}
+	c.next = r.Addr + InstrBytes // wraps to < InstrBytes at the address-space top, breaking the run
+}
+
+// Len returns the number of runs the compactor currently retains, including
+// the still-open one — an upper bound that only grows by one per Add, so
+// incremental memory-budget checks can poll it cheaply.
+func (c *Compactor) Len() int {
+	if c.cur.Len > 0 {
+		return len(c.runs) + 1
+	}
+	return len(c.runs)
+}
+
+// Finish closes the open run and returns the compacted trace. The Compactor
+// must not be reused after Finish.
+func (c *Compactor) Finish() []Run {
+	if c.cur.Len > 0 {
+		c.runs = append(c.runs, c.cur)
+		c.cur = Run{}
+		c.next = 0
+	}
+	return c.runs
+}
+
 // AppendRefs expands the run back into its per-instruction fetches.
 func (r Run) AppendRefs(dst []Ref) []Ref {
 	addr := r.Start

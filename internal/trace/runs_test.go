@@ -116,6 +116,55 @@ func TestCompactExpandRoundTrip(t *testing.T) {
 	}
 }
 
+// Property: a Compactor fed the same stream in arbitrary chunks produces
+// exactly Compact's output — sequential stretches merge across chunk
+// boundaries.
+func TestCompactorMatchesCompact(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 20; trial++ {
+		refs := randomInstrTrace(rng, 2000)
+		want := Compact(refs)
+		var c Compactor
+		for i := 0; i < len(refs); {
+			chunk := 1 + rng.Intn(97)
+			if i+chunk > len(refs) {
+				chunk = len(refs) - i
+			}
+			for _, r := range refs[i : i+chunk] {
+				c.Add(r)
+			}
+			if c.Len() > len(want) {
+				t.Fatalf("trial %d: Len %d exceeds final run count %d", trial, c.Len(), len(want))
+			}
+			i += chunk
+		}
+		got := c.Finish()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d runs, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d run %d: got %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompactorEmpty(t *testing.T) {
+	var c Compactor
+	if c.Len() != 0 {
+		t.Fatal("empty compactor Len != 0")
+	}
+	if runs := c.Finish(); len(runs) != 0 {
+		t.Fatalf("empty compactor produced %d runs", len(runs))
+	}
+	var d Compactor
+	d.Add(Ref{Addr: 8, Kind: DRead}) // ignored
+	if d.Len() != 0 {
+		t.Fatal("data ref opened a run")
+	}
+}
+
 func TestRunSourceMatchesExpand(t *testing.T) {
 	rng := xrand.New(7)
 	refs := randomInstrTrace(rng, 3000)
