@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check check-sampling chaos serve bench microbench vet cover tables extensions calibration examples clean
+.PHONY: all build test test-short race check check-sampling bench-columnar chaos serve bench microbench vet cover tables extensions calibration examples clean
 
 all: build vet test race check
 
@@ -40,6 +40,14 @@ check-sampling:
 	$(GO) test -race -run 'Sampl' ./internal/sampling ./internal/sweep \
 		./internal/replay ./internal/check ./internal/server
 
+# Columnar (IBSTRACE/v3) verification: the block-replay and block-sweep
+# differentials (mmap + ReaderAt modes vs in-memory, bit-exact) plus the
+# zero-copy replay benchmark gate — a trace 10x the store's hard RAM budget
+# must replay from disk with flat RSS at near-parity throughput. (Flags must
+# precede the stage name: the Go flag parser stops at the first positional.)
+bench-columnar:
+	$(GO) run ./cmd/ibscheck -o "" -n 200000 columnar-replay
+
 # Seeded fault-injection (chaos) suite under the race detector: trace-codec
 # corruption contracts, store budget fallback, worker panic isolation, the
 # ibstables interrupt/resume test, the service admission/degradation tests,
@@ -59,13 +67,14 @@ serve:
 
 # Benchmark-regression run: times the pinned stages plus the Figure 3+4
 # sweep-vs-per-config and Tables 5-8 + Figures 6/7 fanout-vs-per-config
-# comparisons at the golden scale, records wall-clock and speedup in
-# BENCH_ibsim.json, and exits non-zero if either speedup regresses more
-# than 20% against its recorded baseline. Also runs the bulk-replay
-# microbenchmarks (trace compaction, per-ref vs FetchRun replay).
+# comparisons and the columnar zero-copy replay gate at the golden scale,
+# records wall-clock and speedups in BENCH_ibsim.json, and exits non-zero
+# if any gated ratio regresses more than 20% against its recorded
+# baseline. Also runs the bulk-replay microbenchmarks (trace compaction,
+# per-ref vs FetchRun replay, columnar encode/decode).
 bench:
 	$(GO) run ./cmd/ibscheck -bench-only -n 200000
-	$(GO) test -run='^$$' -bench='CompactAppend|FetchPerRef|FetchRun' -benchmem \
+	$(GO) test -run='^$$' -bench='CompactAppend|FetchPerRef|FetchRun|Columnar' -benchmem \
 		./internal/trace ./internal/fetch
 
 # Go microbenchmarks (cache hot path, sweep engine, generators).

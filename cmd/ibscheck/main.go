@@ -11,6 +11,7 @@
 //	ibscheck -print-golden         # emit the golden.go literal for this run
 //	ibscheck -faults               # chaos mode: seeded fault-injection suite
 //	ibscheck sampling-bounds       # only the sampling checks + bench
+//	ibscheck columnar-replay       # only the columnar checks + bench
 //
 // The exit status is 0 only when every check passes and every tracked stage
 // is within golden tolerance.
@@ -44,6 +45,7 @@ func run(args []string) int {
 	noFigures := fs.Bool("no-figures", false, "skip the Figure 3+4 sweep-vs-per-config benchmark")
 	noTables := fs.Bool("no-tables", false, "skip the Tables 5-8 + Figures 6/7 fanout-vs-per-config benchmark")
 	noSampling := fs.Bool("no-sampling", false, "skip the sampled-vs-exact sweep benchmark")
+	noColumnar := fs.Bool("no-columnar", false, "skip the columnar block-replay benchmark")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -84,8 +86,11 @@ func run(args []string) int {
 	if fs.Arg(0) == "sampling-bounds" {
 		return runSamplingBounds(opt, *out, start)
 	}
+	if fs.Arg(0) == "columnar-replay" {
+		return runColumnarReplay(opt, *out, start)
+	}
 	if fs.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "ibscheck: unknown stage %q (did you mean sampling-bounds?)\n", fs.Arg(0))
+		fmt.Fprintf(os.Stderr, "ibscheck: unknown stage %q (did you mean sampling-bounds or columnar-replay?)\n", fs.Arg(0))
 		return 2
 	}
 
@@ -182,6 +187,18 @@ func run(args []string) int {
 		stagesOK = stagesOK && samp.Passed
 	}
 
+	var col *check.ColumnarBench
+	if !*noColumnar {
+		col, err = check.RunColumnarBench(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+			return 2
+		}
+		fmt.Printf("%-4s bench/%-36s %s (%.2fs)\n", verdict(col.Passed), "columnar-replay", col.Detail,
+			col.InMemorySeconds+col.BlockSeconds)
+		stagesOK = stagesOK && col.Passed
+	}
+
 	report := check.Report{
 		Schema:       "ibsim-bench/v1",
 		Instructions: *n,
@@ -192,6 +209,7 @@ func run(args []string) int {
 		Figure34:     figures,
 		Tables:       tables,
 		Sampling:     samp,
+		Columnar:     col,
 		Passed:       check.AllPassed(results) && stagesOK,
 		TotalSeconds: time.Since(start).Seconds(),
 	}
@@ -204,6 +222,47 @@ func run(args []string) int {
 		return 1
 	}
 	fmt.Printf("PASS (%d checks, %d stages, %.2fs)\n", len(results), len(stages), report.TotalSeconds)
+	return 0
+}
+
+// runColumnarReplay is the `ibscheck columnar-replay` stage: only the
+// columnar differential checks and the block-replay benchmark, for a fast CI
+// gate on the on-disk format (`make bench-columnar`).
+func runColumnarReplay(opt check.Options, out string, start time.Time) int {
+	results, err := check.ColumnarReplay(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: harness failure: %v\n", err)
+		return 2
+	}
+	for _, r := range results {
+		fmt.Printf("%-4s %-42s %s (%.2fs)\n", verdict(r.Passed), r.Name, r.Detail, r.Seconds)
+	}
+	col, err := check.RunColumnarBench(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+		return 2
+	}
+	fmt.Printf("%-4s bench/%-36s %s (%.2fs)\n", verdict(col.Passed), "columnar-replay", col.Detail,
+		col.InMemorySeconds+col.BlockSeconds)
+	report := check.Report{
+		Schema:       "ibsim-bench/v1",
+		Instructions: opt.Instructions,
+		Seed:         opt.Seed,
+		GoldenScale:  opt.Instructions == check.PinnedInstructions && opt.Seed == 0,
+		Checks:       results,
+		Columnar:     col,
+		Passed:       check.AllPassed(results) && col.Passed,
+		TotalSeconds: time.Since(start).Seconds(),
+	}
+	if err := writeReport(out, report); err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+		return 2
+	}
+	if !report.Passed {
+		fmt.Println("FAIL")
+		return 1
+	}
+	fmt.Printf("PASS (%d columnar checks, %.2fs)\n", len(results), report.TotalSeconds)
 	return 0
 }
 

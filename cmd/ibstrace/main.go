@@ -1,14 +1,18 @@
 // Command ibstrace characterizes traces the way the paper's authors
 // characterized theirs: footprints, working sets, fully-associative LRU
-// miss-ratio curves, and sequential run lengths. It accepts either an
-// IBSTRACE file (produced by ibsgen) or a workload name to synthesize on the
-// fly.
+// miss-ratio curves, and sequential run lengths. It accepts an IBSTRACE
+// record file (produced by ibsgen), an IBSTRACE/v3 columnar file, or a
+// workload name to synthesize on the fly, and converts between the two
+// on-disk formats.
 //
 // Usage:
 //
 //	ibstrace -file gs.ibstrace
+//	ibstrace -file gs.ibsc                       # columnar: block statistics
+//	ibstrace -file gs.ibstrace -convert gs.ibsc  # record -> columnar (v3)
+//	ibstrace -file gs.ibsc -convert gs.ibstrace  # columnar -> record
 //	ibstrace -workload verilog -n 2000000
-//	ibstrace -workload gs -compare eqntott      # side-by-side
+//	ibstrace -workload gs -compare eqntott       # side-by-side
 package main
 
 import (
@@ -21,7 +25,8 @@ import (
 
 func main() {
 	var (
-		file     = flag.String("file", "", "IBSTRACE file to analyze")
+		file     = flag.String("file", "", "IBSTRACE file to analyze (record or columnar)")
+		convert  = flag.String("convert", "", "convert -file to this path (direction follows the source format)")
 		workload = flag.String("workload", "", "workload to synthesize and analyze")
 		compare  = flag.String("compare", "", "second workload to analyze side by side")
 		n        = flag.Int64("n", 2_000_000, "instructions when synthesizing")
@@ -30,7 +35,24 @@ func main() {
 	flag.Parse()
 
 	switch {
+	case *convert != "":
+		if *file == "" {
+			fail(fmt.Errorf("-convert needs -file as the source"))
+		}
+		if err := convertFile(*file, *convert); err != nil {
+			fail(err)
+		}
 	case *file != "":
+		columnar, err := ibsim.IsColumnarTraceFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		if columnar {
+			if err := reportColumnar(*file); err != nil {
+				fail(err)
+			}
+			return
+		}
 		refs, complete, err := ibsim.SalvageTraceFile(*file)
 		if !complete {
 			if len(refs) == 0 {
@@ -60,6 +82,96 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// convertFile re-encodes src as dst, picking the direction from the source
+// header: a record file becomes a columnar one, a columnar file expands back
+// to records.
+func convertFile(src, dst string) error {
+	columnar, err := ibsim.IsColumnarTraceFile(src)
+	if err != nil {
+		return err
+	}
+	if columnar {
+		written, err := ibsim.ConvertColumnarToTrace(src, dst)
+		if err != nil {
+			return err
+		}
+		st, err := os.Stat(dst)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: expanded to %d instruction-fetch records in %s (%.1f MB)\n",
+			src, written, dst, float64(st.Size())/1e6)
+		return nil
+	}
+	rs, err := ibsim.ConvertTraceToColumnar(src, dst)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions in %d runs -> %s (%.1f MB, %.2f bytes/instruction)\n",
+		src, rs.Instructions, rs.Runs, dst, float64(st.Size())/1e6,
+		float64(st.Size())/float64(rs.Instructions))
+	return nil
+}
+
+// reportColumnar prints a columnar file's block statistics: the per-block
+// index view, the compression anatomy (delta-width histogram), and the
+// sequential-run structure. Damaged files are salvaged loudly, and the
+// statistics describe the surviving blocks.
+func reportColumnar(path string) error {
+	cf, dmg, err := ibsim.SalvageColumnarTrace(path)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if dmg.Damaged() {
+		how := "footer index intact"
+		if dmg.IndexRebuilt {
+			how = "index rebuilt by forward scan"
+		}
+		fmt.Fprintf(os.Stderr, "ibstrace: WARNING: %s is damaged (%v); dropped %d block(s) / %d instructions (%s), reporting the salvaged remainder\n",
+			path, dmg.Err, dmg.DroppedBlocks, dmg.DroppedRefs, how)
+	}
+	st, err := cf.Stats()
+	if err != nil {
+		return err
+	}
+	mode := "sequential reads"
+	if cf.Mapped() {
+		mode = "mmap (zero-copy)"
+	}
+	fmt.Printf("== %s ==\n", path)
+	fmt.Printf("format:               IBSTRACE/v3 columnar, %s\n", mode)
+	fmt.Printf("blocks:               %d (target %d bytes/block)\n", st.Blocks, cf.BlockBytes())
+	fmt.Printf("instructions:         %d in %d runs\n", st.Refs, st.Runs)
+	fmt.Printf("file size:            %.1f MB (%d payload bytes, %.2f bytes/instruction)\n",
+		float64(st.FileBytes)/1e6, st.PayloadBytes, st.BytesPerRef)
+	fmt.Printf("salvaged blocks:      %d dropped\n", dmg.DroppedBlocks)
+	fmt.Printf("delta widths:        ")
+	for w, c := range st.DeltaWidth {
+		if c > 0 {
+			fmt.Printf(" %dB:%d", w+1, c)
+		}
+	}
+	fmt.Println()
+
+	// The run structure determines how much the bulk replay path can win;
+	// gather the runs block by block (24 bytes per run, not per ref).
+	runs := make([]ibsim.Run, 0, st.Runs)
+	var buf []ibsim.Run
+	for i := 0; i < cf.NumBlocks(); i++ {
+		if buf, err = cf.BlockRuns(i, buf); err != nil {
+			return err
+		}
+		runs = append(runs, buf...)
+	}
+	printRunStats(ibsim.SummarizeRuns(runs))
+	return nil
 }
 
 func report(name string, line int, n int64) error {

@@ -252,6 +252,117 @@ func SalvageTraceFile(path string) (refs []Ref, complete bool, err error) {
 	return trace.DecodeSalvage(f)
 }
 
+// Columnar (IBSTRACE/v3) trace files: the block-granular on-disk shape the
+// zero-copy replay and sweep paths consume. See internal/trace for the
+// format specification.
+
+type (
+	// ColumnarTrace is an open IBSTRACE/v3 columnar trace file, read block
+	// by block — zero-copy via mmap when the platform allows, plain
+	// sequential reads otherwise. Close it when done.
+	ColumnarTrace = trace.ColumnarFile
+	// ColumnarStats summarizes a columnar file for inspection: block count,
+	// per-instruction cost, and the address-delta width histogram that shows
+	// where the compression comes from.
+	ColumnarStats = trace.ColumnarStats
+	// ColumnarDamage reports what salvaging a damaged columnar file dropped.
+	ColumnarDamage = trace.ColumnarDamage
+)
+
+// WriteColumnarTraceFile generates n instructions of w and writes the
+// run-compacted fetch stream to path in the IBSTRACE/v3 columnar format.
+// The columnar format is instruction-only — data references are not
+// representable — so unlike WriteTraceFile the file carries exactly the
+// fetch stream. The write is atomic, like WriteTraceFile. Returns the
+// number of blocks written.
+func WriteColumnarTraceFile(path string, w Workload, n int64) (blocks int, err error) {
+	refs, err := synth.InstrTrace(w, 0, n)
+	if err != nil {
+		return 0, err
+	}
+	runs := trace.Compact(refs)
+	err = atomicio.WriteTo(path, 0o644, func(f *os.File) error {
+		var werr error
+		blocks, werr = trace.EncodeColumnar(f, runs)
+		return werr
+	})
+	if err != nil {
+		return 0, fmt.Errorf("ibsim: writing columnar trace file: %w", err)
+	}
+	return blocks, nil
+}
+
+// OpenColumnarTrace opens an IBSTRACE/v3 columnar trace file for
+// block-granular reading.
+func OpenColumnarTrace(path string) (*ColumnarTrace, error) {
+	cf, err := trace.OpenColumnar(path)
+	if err != nil {
+		return nil, fmt.Errorf("ibsim: opening columnar trace file: %w", err)
+	}
+	return cf, nil
+}
+
+// SalvageColumnarTrace opens a possibly damaged columnar trace file,
+// keeping every block that passes its CRC and dropping the rest; the damage
+// report says exactly what was lost. Like SalvageTraceFile, a partial
+// result is explicit, never silent: callers must consult the report before
+// treating the file as the whole trace.
+func SalvageColumnarTrace(path string) (*ColumnarTrace, *ColumnarDamage, error) {
+	cf, dmg, err := trace.SalvageColumnar(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ibsim: salvaging columnar trace file: %w", err)
+	}
+	return cf, dmg, nil
+}
+
+// IsColumnarTraceFile reports whether path's header declares the columnar
+// (version 3) format — a 12-byte sniff, not a validation — so tools can
+// route a file to the right decoder.
+func IsColumnarTraceFile(path string) (bool, error) { return trace.SniffColumnar(path) }
+
+// ConvertTraceToColumnar re-encodes a record-format IBSTRACE file as
+// IBSTRACE/v3 columnar: instruction fetches are run-compacted and written
+// block by block; data references are dropped (the columnar format is
+// instruction-only). The destination write is atomic. Returns run-length
+// statistics of the converted trace.
+func ConvertTraceToColumnar(src, dst string) (RunStats, error) {
+	refs, err := ReadTraceFile(src)
+	if err != nil {
+		return RunStats{}, err
+	}
+	runs := trace.Compact(refs)
+	err = atomicio.WriteTo(dst, 0o644, func(f *os.File) error {
+		_, werr := trace.EncodeColumnar(f, runs)
+		return werr
+	})
+	if err != nil {
+		return RunStats{}, fmt.Errorf("ibsim: writing columnar trace file: %w", err)
+	}
+	return trace.SummarizeRuns(runs), nil
+}
+
+// ConvertColumnarToTrace expands an IBSTRACE/v3 columnar file back to the
+// per-reference record format (instruction fetches only) — the shape the
+// record-oriented tools consume. The expansion streams block by block, so
+// the trace is never materialized in memory. The destination write is
+// atomic. Returns the number of references written.
+func ConvertColumnarToTrace(src, dst string) (written uint64, err error) {
+	cf, err := OpenColumnarTrace(src)
+	if err != nil {
+		return 0, err
+	}
+	defer cf.Close()
+	err = atomicio.WriteTo(dst, 0o644, func(f *os.File) error {
+		var werr error
+		written, werr = trace.EncodeSeeker(f, trace.NewBlockRunSource(cf))
+		return werr
+	})
+	if err != nil {
+		return 0, fmt.Errorf("ibsim: writing trace file: %w", err)
+	}
+	return written, nil
+}
+
 // CompactTrace reduces a reference stream to its maximal sequential
 // instruction runs — the representation the bulk replay paths (ReplayFetch's
 // engines via FetchRun, internal/replay's fan-out driver) consume. Data

@@ -180,8 +180,8 @@ type Cache struct {
 	isLRU bool
 	// dm4 marks the dominant replay shape — direct-mapped, non-sector, LRU —
 	// for which TouchRun and Touch take a fully inlined fast path.
-	dm4  bool
-	ways []way // sets × assoc, row-major; sized once at construction
+	dm4   bool
+	ways  []way // sets × assoc, row-major; sized once at construction
 	clock uint64
 	rng   *xrand.Source
 	stats Stats

@@ -59,6 +59,10 @@ type Report struct {
 	// set-sampled grid sweep, with speedup, accuracy, and CI-calibration
 	// verdicts.
 	Sampling *SamplingBench `json:"sampling,omitempty"`
+	// Columnar records the zero-copy block-replay benchmark: a trace 10x the
+	// RAM budget replayed from its on-disk columnar file, with identity,
+	// flat-RSS, and relative-throughput verdicts.
+	Columnar *ColumnarBench `json:"columnar,omitempty"`
 	// Passed is the run's overall verdict.
 	Passed bool `json:"passed"`
 	// TotalSeconds is the whole run's wall-clock time.

@@ -41,6 +41,7 @@ func RunChaos(opt Options) ([]Result, error) {
 		{"chaos/bit-flip", func() Result { return chaosBitFlip(refs, data, opt.Seed) }},
 		{"chaos/short-read", func() Result { return chaosShortRead(refs, data, opt.Seed) }},
 		{"chaos/error-after-n", func() Result { return chaosErrAfter(data) }},
+		{"chaos/columnar-salvage", func() Result { return chaosColumnarSalvage(refs) }},
 		{"chaos/write-fault-sticky", func() Result { return chaosWriteFault(refs) }},
 		{"chaos/over-budget-store", func() Result { return chaosOverBudget(prof, opt.Seed) }},
 		{"chaos/worker-panic", func() Result { return chaosWorkerPanic(opt) }},

@@ -102,6 +102,7 @@ func RunAll(opt Options) ([]Result, error) {
 		SweepVsPerConfig,
 		FanoutVsPerConfig,
 		TraceRoundTrip,
+		ColumnarReplay,
 		SamplingBounds,
 		SamplingProperties,
 	} {

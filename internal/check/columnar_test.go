@@ -1,0 +1,73 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"ibsim/internal/synth"
+)
+
+// The columnar differentials must hold at a sub-golden scale that still
+// spans many blocks.
+func TestColumnarReplayPasses(t *testing.T) {
+	results, err := ColumnarReplay(Options{Instructions: 60_000})
+	if err != nil {
+		t.Fatalf("harness failure: %v", err)
+	}
+	want := []string{"differential/columnar-replay", "differential/columnar-sweep"}
+	if len(results) != len(want) {
+		t.Fatalf("%d results, want %d", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.Name != want[i] {
+			t.Errorf("result %d = %q, want %q", i, r.Name, want[i])
+		}
+		if !r.Passed {
+			t.Errorf("%s failed: %s", r.Name, r.Detail)
+		}
+	}
+}
+
+// The chaos salvage scenario in isolation (it also runs inside RunChaos).
+func TestChaosColumnarSalvage(t *testing.T) {
+	opt := Options{Instructions: 50_000}.withDefaults()
+	refs, err := synth.InstrTrace(opt.Workloads[0], opt.Seed, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := chaosColumnarSalvage(refs)
+	if !r.Passed {
+		t.Fatalf("%s: %s", r.Name, r.Detail)
+	}
+	if !strings.Contains(r.Detail, "prefix") {
+		t.Fatalf("detail does not describe the truncation salvage: %s", r.Detail)
+	}
+}
+
+// The bench must prove the whole contract off golden scale: the capped
+// store rejects the in-memory tiers, results are identical, and heap growth
+// during the disk replay stays under the budget the trace exceeds tenfold.
+func TestRunColumnarBench(t *testing.T) {
+	cb, err := RunColumnarBench(Options{Instructions: 120_000})
+	if err != nil {
+		t.Fatalf("harness failure: %v", err)
+	}
+	if !cb.OverBudget {
+		t.Error("capped store admitted the in-memory tiers; budget not binding")
+	}
+	if !cb.Identical {
+		t.Error("block and in-memory results differ")
+	}
+	if !cb.FlatRSS {
+		t.Errorf("heap grew %d bytes, budget %d", cb.HeapGrowthBytes, cb.BudgetBytes)
+	}
+	if cb.TraceBytes != 10*cb.BudgetBytes {
+		t.Errorf("trace %d bytes is not 10x the %d budget", cb.TraceBytes, cb.BudgetBytes)
+	}
+	if cb.Blocks < 8 {
+		t.Errorf("bench file spans only %d blocks", cb.Blocks)
+	}
+	if !cb.Passed {
+		t.Errorf("bench failed off golden scale: %s", cb.Detail)
+	}
+}

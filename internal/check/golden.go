@@ -43,6 +43,18 @@ const tablesGoldenSpeedup = 3.1
 // deliberate sampled-sweep changes.
 const samplingGoldenSpeedup = 11.5
 
+// columnarGoldenRatio is the recorded relative throughput of the
+// block-granular columnar replay (replay.Blocks over the on-disk file) versus
+// the in-memory fan-out path (replay.Replay over materialized runs) on the
+// same engine bank at the pinned scale, measured by `go run ./cmd/ibscheck
+// -n 200000` on the commit that introduced the columnar format. 1.0 is
+// parity; the per-block varint decode keeps it slightly under. As a ratio of
+// two same-process wall-clocks it is machine-independent to first order;
+// RunColumnarBench fails a golden-scale run whose measured ratio drops below
+// 80% of this. Update it alongside deliberate columnar codec or block-driver
+// changes.
+const columnarGoldenRatio = 0.9
+
 var goldens = map[string]Golden{
 	"cache/base-l1":   {CPI: 0, MPI: 0.04838},
 	"fetch/blocking":  {CPI: 0.33866, MPI: 0.04838},

@@ -789,7 +789,7 @@ func Figure7(opt Options) (*Figure7Result, error) {
 	mks := []func() (fetch.Engine, error){
 		func() (fetch.Engine, error) { return fetch.NewBlocking(l2cfg, memsys.Economy().Memory, 0) },
 		func() (fetch.Engine, error) { return fetch.NewBlocking(l2cfg, memsys.HighPerformance().Memory, 0) },
-		func() (fetch.Engine, error) { return fetch.NewBlocking(BaseL1(), base16, 0) }, // 32-B line, on-chip L2
+		func() (fetch.Engine, error) { return fetch.NewBlocking(BaseL1(), base16, 0) },           // 32-B line, on-chip L2
 		func() (fetch.Engine, error) { return fetch.NewBlocking(baseL1WithLine(64), base16, 0) }, // tuned line
 		func() (fetch.Engine, error) { return fetch.NewBlocking(baseL1WithLine(16), base16, 3) },
 		func() (fetch.Engine, error) { return fetch.NewBypass(baseL1WithLine(16), base16, 3) },

@@ -214,9 +214,15 @@ func (b *Blocking) FetchRuns(runs []trace.Run) {
 	}
 }
 
-// FetchRuns implements RunEngine.
+// FetchRuns implements RunEngine. Like the blocking engine's, the stream
+// engine's miss path is fused: TouchRunDM4 stopping short proves the next
+// address misses the L1, so both outcomes — stream-buffer hit and miss in
+// both structures — skip Fetch's redundant Lookup and move the line in with
+// cache.MissFillDM4 (the L1 fill and its miss accounting in one step), with
+// the full-miss stall hoisted to a constant.
 func (s *Stream) FetchRuns(runs []trace.Run) {
 	if s.l1.DM4() {
+		missStall := int64(s.link.FillCycles(int(s.lineSize)))
 		for _, r := range runs {
 			addr, n := r.Start, r.Len
 			for n > 0 {
@@ -226,7 +232,26 @@ func (s *Stream) FetchRuns(runs []trace.Run) {
 				if n -= t; n == 0 {
 					break
 				}
-				s.Fetch(addr)
+				s.res.Instructions++
+				now := s.now()
+				la := addr &^ (s.lineSize - 1)
+				if arrive, ok := s.avail[la]; ok {
+					if arrive > now {
+						s.res.StallCycles += arrive - now
+					}
+					s.res.BufferHits++
+					s.l1.MissFillDM4(la)
+					delete(s.avail, la)
+				} else {
+					s.res.Misses++
+					s.res.StallCycles += missStall
+					now = s.now()
+					s.l1.MissFillDM4(la)
+					clear(s.avail)
+					for i := 1; i <= s.depth; i++ {
+						s.avail[la+uint64(i)*s.lineSize] = now + int64(i)
+					}
+				}
 				addr += trace.InstrBytes
 				n--
 			}

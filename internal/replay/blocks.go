@@ -1,0 +1,128 @@
+package replay
+
+import (
+	"context"
+	"sort"
+
+	"ibsim/internal/fetch"
+	"ibsim/internal/trace"
+)
+
+// Block-granular fan-out: the same drivers as Replay/Sampled, consuming a
+// trace.BlockSource (a columnar file via mmap, or any other block-sliced
+// trace) one ~1 MB block at a time instead of a materialized []trace.Run.
+// Memory stays O(block) however large the trace — each block is decoded once
+// into a reused buffer and fed to every simulated engine while it is hot —
+// and results are identical to the in-memory path, pinned by the
+// differential/columnar-replay check and this package's tests.
+
+// Blocks replays every engine in the bank over a block-granular trace and
+// returns their Results in bank order — exactly Replay over the
+// concatenated runs, with the same analytic dedup of blocking engines.
+// Unlike Replay, the trace is decoded block by block (once per block, not
+// once per engine), so a columnar file far beyond the RAM budget replays
+// with one block buffer of live memory.
+func Blocks(ctx context.Context, bs trace.BlockSource, engines []fetch.Engine) ([]fetch.Result, error) {
+	results := make([]fetch.Result, len(engines))
+	repOf, derived := planBank(engines)
+
+	var buf []trace.Run
+	nb := bs.NumBlocks()
+	for b := 0; b < nb; b++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		buf, err = bs.BlockRuns(b, buf)
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range engines {
+			if _, isDerived := repOf[i]; isDerived {
+				continue
+			}
+			if err := replayOne(ctx, buf, e); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i, e := range engines {
+		if _, isDerived := repOf[i]; isDerived {
+			continue
+		}
+		results[i] = e.Result()
+	}
+	fillDerived(results, engines, repOf, derived)
+	return results, nil
+}
+
+// blockCursor walks a BlockSource by absolute instruction position: Seek is
+// O(log blocks) through the cumulative-refs index, and sequential walks
+// within one block resume from a cached run cursor instead of rescanning.
+// It is what gives sampled time-windows their O(1)-per-window entry into an
+// arbitrarily large trace.
+type blockCursor struct {
+	bs  trace.BlockSource
+	cum []int64 // cum[i] = instructions before block i; len = blocks+1
+
+	blk    int // decoded block index; -1 before first decode
+	buf    []trace.Run
+	runIdx int   // cursor within buf...
+	runPos int64 // ...at this absolute instruction position
+}
+
+func newBlockCursor(bs trace.BlockSource) *blockCursor {
+	n := bs.NumBlocks()
+	cum := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + bs.BlockMeta(i).Refs
+	}
+	return &blockCursor{bs: bs, cum: cum, blk: -1}
+}
+
+// total returns the trace's instruction count.
+func (c *blockCursor) total() int64 { return c.cum[len(c.cum)-1] }
+
+// walk invokes fn(start, cnt) over the maximal sequential spans covering
+// instructions [pos, pos+n), clipped to the trace end.
+func (c *blockCursor) walk(pos, n int64, fn func(start uint64, cnt int64)) error {
+	if end := c.total(); pos+n > end {
+		n = end - pos
+	}
+	for n > 0 {
+		// Locate the covering block (usually the current one).
+		b := c.blk
+		if b < 0 || pos < c.cum[b] || pos >= c.cum[b+1] {
+			b = sort.Search(len(c.cum)-1, func(i int) bool { return c.cum[i+1] > pos })
+			var err error
+			if c.buf, err = c.bs.BlockRuns(b, c.buf); err != nil {
+				return err
+			}
+			c.blk = b
+			c.runIdx, c.runPos = 0, c.cum[b]
+		}
+		if pos < c.runPos {
+			// A backward seek within the block: restart its run cursor.
+			c.runIdx, c.runPos = 0, c.cum[b]
+		}
+		for c.runIdx < len(c.buf) && n > 0 {
+			r := c.buf[c.runIdx]
+			off := pos - c.runPos
+			if off >= r.Len {
+				c.runIdx++
+				c.runPos += r.Len
+				continue
+			}
+			take := r.Len - off
+			if take > n {
+				take = n
+			}
+			fn(r.Start+uint64(off)*trace.InstrBytes, take)
+			pos += take
+			n -= take
+		}
+		// Block exhausted with instructions still owed: the next loop
+		// iteration seeks the following block.
+	}
+	return nil
+}

@@ -41,18 +41,13 @@ const runChunk = 256
 // cache geometry. cache.Config is comparable, so it can key a map directly.
 type analyticKey struct{ geom cache.Config }
 
-// Replay runs every engine in the bank over the same run-compacted
-// instruction trace and returns their Results in bank order. It honors ctx
-// between engines and periodically within each replay; on cancellation the
-// partial results are discarded and ctx.Err() is returned.
-func Replay(ctx context.Context, runs []trace.Run, engines []fetch.Engine) ([]fetch.Result, error) {
-	results := make([]fetch.Result, len(engines))
-
-	// Pass 1: group the analytic blocking engines by geometry; the first
-	// engine of each group is its representative and is simulated for real.
+// planBank groups the analytic blocking engines by geometry: the first
+// engine of each group is its representative and is simulated for real;
+// repOf maps every other group member to it, and derived lists them in bank
+// order. Shared by Replay and Blocks so the two drivers dedup identically.
+func planBank(engines []fetch.Engine) (repOf map[int]int, derived []int) {
 	reps := make(map[analyticKey]int) // geometry -> representative engine index
-	derived := make([]int, 0)         // indices reconstructed from a representative
-	repOf := make(map[int]int)        // derived index -> representative index
+	repOf = make(map[int]int)
 	for i, e := range engines {
 		b, ok := e.(*fetch.Blocking)
 		if !ok {
@@ -70,8 +65,29 @@ func Replay(ctx context.Context, runs []trace.Run, engines []fetch.Engine) ([]fe
 			reps[key] = i
 		}
 	}
+	return repOf, derived
+}
 
-	// Pass 2: simulate every engine that is not derived.
+// fillDerived reconstructs the derived cells from their representatives'
+// results (StallCycles = Misses x FillCycles, exactly).
+func fillDerived(results []fetch.Result, engines []fetch.Engine, repOf map[int]int, derived []int) {
+	for _, i := range derived {
+		rep := results[repOf[i]]
+		b := engines[i].(*fetch.Blocking)
+		geom, link, _ := b.AnalyticConfig()
+		results[i] = fetch.BlockingResult(rep.Instructions, rep.Misses, geom.LineSize, link)
+	}
+}
+
+// Replay runs every engine in the bank over the same run-compacted
+// instruction trace and returns their Results in bank order. It honors ctx
+// between engines and periodically within each replay; on cancellation the
+// partial results are discarded and ctx.Err() is returned.
+func Replay(ctx context.Context, runs []trace.Run, engines []fetch.Engine) ([]fetch.Result, error) {
+	results := make([]fetch.Result, len(engines))
+	repOf, derived := planBank(engines)
+
+	// Simulate every engine that is not derived, then reconstruct the rest.
 	for i, e := range engines {
 		if _, isDerived := repOf[i]; isDerived {
 			continue
@@ -81,14 +97,7 @@ func Replay(ctx context.Context, runs []trace.Run, engines []fetch.Engine) ([]fe
 		}
 		results[i] = e.Result()
 	}
-
-	// Pass 3: reconstruct the derived cells from their representatives.
-	for _, i := range derived {
-		rep := results[repOf[i]]
-		b := engines[i].(*fetch.Blocking)
-		geom, link, _ := b.AnalyticConfig()
-		results[i] = fetch.BlockingResult(rep.Instructions, rep.Misses, geom.LineSize, link)
-	}
+	fillDerived(results, engines, repOf, derived)
 	return results, nil
 }
 

@@ -20,7 +20,7 @@ func testTrace(seed uint64, n int) []trace.Ref {
 	for i := range refs {
 		refs[i] = trace.Ref{Addr: addr, Kind: trace.IFetch}
 		if rng.Bool(0.1) {
-			addr = rng.Uint64n(1 << 17) &^ 3
+			addr = rng.Uint64n(1<<17) &^ 3
 		} else {
 			addr += trace.InstrBytes
 		}

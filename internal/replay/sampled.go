@@ -157,115 +157,172 @@ func feedSpan(e fetch.Engine, re fetch.RunEngine, start uint64, n int64) {
 	}
 }
 
+// timeSampler is the time-sampling state machine for one engine, carried
+// across arbitrarily chunked feeds: sampledTime pushes the whole run slice
+// through it at once, SampledBlocks pushes one block at a time, and both
+// produce identical results because all the state — window phase, open
+// snapshot, cluster list — lives here rather than in a loop frame.
+type timeSampler struct {
+	e    fetch.Engine
+	re   fetch.RunEngine
+	plan SamplePlan
+
+	measured fetch.Result
+	clusters []sampling.Cluster
+	prev     fetch.Result
+	inWindow bool
+	pos      int64 // absolute instruction position
+	ri       int   // runs consumed, for context-poll cadence
+}
+
+func newTimeSampler(e fetch.Engine, plan SamplePlan) *timeSampler {
+	re, _ := e.(fetch.RunEngine)
+	return &timeSampler{e: e, re: re, plan: plan}
+}
+
+func (s *timeSampler) closeWindow() {
+	if !s.inWindow {
+		return
+	}
+	d := resultDelta(s.e.Result(), s.prev)
+	s.measured = resultAdd(s.measured, d)
+	s.clusters = append(s.clusters, sampling.Cluster{Instructions: d.Instructions, Misses: d.Misses})
+	s.inWindow = false
+}
+
+// feed advances the sampler over the next chunk of the trace.
+func (s *timeSampler) feed(ctx context.Context, runs []trace.Run) error {
+	for _, r := range runs {
+		if s.ri&(runChunk-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		s.ri++
+		for off := int64(0); off < r.Len; {
+			phase := (s.pos + off) % s.plan.Period
+			if phase < s.plan.Window {
+				seg := s.plan.Window - phase
+				if rem := r.Len - off; seg > rem {
+					seg = rem
+				}
+				if !s.inWindow {
+					s.prev = s.e.Result()
+					s.inWindow = true
+				}
+				feedSpan(s.e, s.re, r.Start+uint64(off)*trace.InstrBytes, seg)
+				off += seg
+			} else {
+				s.closeWindow()
+				seg := s.plan.Period - phase
+				if rem := r.Len - off; seg > rem {
+					seg = rem
+				}
+				if s.plan.Warm {
+					feedSpan(s.e, s.re, r.Start+uint64(off)*trace.InstrBytes, seg)
+				}
+				off += seg
+			}
+		}
+		s.pos += r.Len
+	}
+	return nil
+}
+
+// finish closes any open window and assembles the result.
+func (s *timeSampler) finish() SampledResult {
+	s.closeWindow()
+	res := SampledResult{Measured: s.measured}
+	f := float64(0)
+	if s.pos > 0 {
+		f = float64(s.measured.Instructions) / float64(s.pos)
+	}
+	res.Estimate = sampling.EstimateFrom(s.clusters, s.pos, f)
+	return res
+}
+
 // sampledTime replays one engine under a time plan: measured windows are
 // delimited by Result snapshots, each window one variance cluster.
 func sampledTime(ctx context.Context, runs []trace.Run, e fetch.Engine, plan SamplePlan) (SampledResult, error) {
-	re, _ := e.(fetch.RunEngine)
-	var res SampledResult
-	var clusters []sampling.Cluster
-	var prev fetch.Result
-	inWindow := false
-	closeWindow := func() {
-		if !inWindow {
-			return
-		}
-		d := resultDelta(e.Result(), prev)
-		res.Measured = resultAdd(res.Measured, d)
-		clusters = append(clusters, sampling.Cluster{Instructions: d.Instructions, Misses: d.Misses})
-		inWindow = false
+	s := newTimeSampler(e, plan)
+	if err := s.feed(ctx, runs); err != nil {
+		return SampledResult{}, err
 	}
-	var pos int64
-	for ri, r := range runs {
-		if ri&(runChunk-1) == 0 {
-			if err := ctx.Err(); err != nil {
-				return SampledResult{}, err
+	return s.finish(), nil
+}
+
+// setFilter incrementally filters a trace down to the sampled congruence
+// class, split into setClusters subgroups by the line-address bits just
+// above the modulus. Runs arrive in any chunking (a materialized slice, or
+// block by block from a BlockSource) and the subgroup lists come out
+// identical — the streaming core shared by Sampled and SampledBlocks.
+type setFilter struct {
+	subs     [][]trace.Run
+	shift    uint
+	modShift uint
+	ipl      int64
+	mod      uint64
+	match    uint64
+	total    int64
+}
+
+func newSetFilter(plan SamplePlan) *setFilter {
+	f := &setFilter{
+		subs:  make([][]trace.Run, setClusters),
+		ipl:   int64(plan.LineSize / trace.InstrBytes),
+		mod:   uint64(plan.SetMod),
+		match: uint64(plan.SetMatch),
+	}
+	for v := plan.LineSize; v > 1; v >>= 1 {
+		f.shift++
+	}
+	for v := plan.SetMod; v > 1; v >>= 1 {
+		f.modShift++
+	}
+	return f
+}
+
+// add filters one run into the subgroups.
+func (f *setFilter) add(r trace.Run) {
+	f.total += r.Len
+	first := r.Start >> f.shift
+	headOff := int64(r.Start/trace.InstrBytes) & (f.ipl - 1)
+	head := f.ipl - headOff
+	if head > r.Len {
+		head = r.Len
+	}
+	nlines := int64(1)
+	if rem := r.Len - head; rem > 0 {
+		nlines += (rem + f.ipl - 1) / f.ipl
+	}
+	for i := int64((f.match - first) & (f.mod - 1)); i < nlines; i += int64(f.mod) {
+		l := first + uint64(i)
+		var start uint64
+		var cnt int64
+		if i == 0 {
+			start, cnt = r.Start, head
+		} else {
+			off := head + (i-1)*f.ipl
+			start = r.Start + uint64(off)*trace.InstrBytes
+			cnt = r.Len - off
+			if cnt > f.ipl {
+				cnt = f.ipl
 			}
 		}
-		for off := int64(0); off < r.Len; {
-			phase := (pos + off) % plan.Period
-			if phase < plan.Window {
-				seg := plan.Window - phase
-				if rem := r.Len - off; seg > rem {
-					seg = rem
-				}
-				if !inWindow {
-					prev = e.Result()
-					inWindow = true
-				}
-				feedSpan(e, re, r.Start+uint64(off)*trace.InstrBytes, seg)
-				off += seg
-			} else {
-				closeWindow()
-				seg := plan.Period - phase
-				if rem := r.Len - off; seg > rem {
-					seg = rem
-				}
-				if plan.Warm {
-					feedSpan(e, re, r.Start+uint64(off)*trace.InstrBytes, seg)
-				}
-				off += seg
-			}
-		}
-		pos += r.Len
+		g := (l >> f.modShift) & (setClusters - 1)
+		f.subs[g] = append(f.subs[g], trace.Run{Start: start, Len: cnt, Domain: r.Domain})
 	}
-	closeWindow()
-	f := float64(0)
-	if pos > 0 {
-		f = float64(res.Measured.Instructions) / float64(pos)
-	}
-	res.Estimate = sampling.EstimateFrom(clusters, pos, f)
-	return res, nil
 }
 
 // setSubruns filters the trace down to the sampled congruence class once
-// (shared by every engine in the bank), split into setClusters subgroups by
-// the line-address bits just above the modulus. Returns the subgroup run
-// lists and the total instruction count of the unfiltered trace.
+// (shared by every engine in the bank). Returns the subgroup run lists and
+// the total instruction count of the unfiltered trace.
 func setSubruns(runs []trace.Run, plan SamplePlan) ([][]trace.Run, int64) {
-	subs := make([][]trace.Run, setClusters)
-	var shift uint
-	for v := plan.LineSize; v > 1; v >>= 1 {
-		shift++
-	}
-	var modShift uint
-	for v := plan.SetMod; v > 1; v >>= 1 {
-		modShift++
-	}
-	ipl := int64(plan.LineSize / trace.InstrBytes)
-	mod := uint64(plan.SetMod)
-	match := uint64(plan.SetMatch)
-	var total int64
+	f := newSetFilter(plan)
 	for _, r := range runs {
-		total += r.Len
-		first := r.Start >> shift
-		headOff := int64(r.Start/trace.InstrBytes) & (ipl - 1)
-		head := ipl - headOff
-		if head > r.Len {
-			head = r.Len
-		}
-		nlines := int64(1)
-		if rem := r.Len - head; rem > 0 {
-			nlines += (rem + ipl - 1) / ipl
-		}
-		for i := int64((match - first) & (mod - 1)); i < nlines; i += int64(mod) {
-			l := first + uint64(i)
-			var start uint64
-			var cnt int64
-			if i == 0 {
-				start, cnt = r.Start, head
-			} else {
-				off := head + (i-1)*ipl
-				start = r.Start + uint64(off)*trace.InstrBytes
-				cnt = r.Len - off
-				if cnt > ipl {
-					cnt = ipl
-				}
-			}
-			g := (l >> modShift) & (setClusters - 1)
-			subs[g] = append(subs[g], trace.Run{Start: start, Len: cnt, Domain: r.Domain})
-		}
+		f.add(r)
 	}
-	return subs, total
+	return f.subs, f.total
 }
 
 // sampledSet replays the pre-filtered subgroups through one engine, one

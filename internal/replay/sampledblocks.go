@@ -1,0 +1,145 @@
+package replay
+
+import (
+	"context"
+
+	"ibsim/internal/fetch"
+	"ibsim/internal/sampling"
+	"ibsim/internal/trace"
+)
+
+// SampledBlocks is Sampled over a block-granular trace: identical plans,
+// identical results (pinned by this package's equality tests), but the trace
+// is consumed one block at a time so a columnar file far beyond the RAM
+// budget samples with O(block) live memory.
+//
+// The block index buys the skip-mode time plan something the in-memory path
+// cannot have: with Warm off, only the measured windows are fed, and each
+// window's first instruction is located by an O(log blocks) seek through the
+// cumulative-refs index — the unmeasured gaps are never even decoded. A 1%
+// sampling plan over a 100 GB trace touches ~1 GB of it.
+func SampledBlocks(ctx context.Context, bs trace.BlockSource, engines []fetch.Engine, plan SamplePlan) ([]SampledResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if plan.timeMode() {
+		// Warm plans must feed the gaps, so they stream every block. So does
+		// the degenerate Window == Period plan (measure everything): with no
+		// gaps the in-memory path accumulates one trace-wide cluster, which
+		// only the carried state machine reproduces.
+		if plan.Warm || plan.Window == plan.Period {
+			return sampledBlocksWarm(ctx, bs, engines, plan)
+		}
+		return sampledBlocksSkip(ctx, bs, engines, plan)
+	}
+	// Set mode: stream every block through the congruence-class filter
+	// (identical subgroup lists to setSubruns over the concatenated runs),
+	// then run the usual subgroup replay per engine.
+	f := newSetFilter(plan)
+	var buf []trace.Run
+	nb := bs.NumBlocks()
+	for b := 0; b < nb; b++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		if buf, err = bs.BlockRuns(b, buf); err != nil {
+			return nil, err
+		}
+		for _, r := range buf {
+			f.add(r)
+		}
+	}
+	results := make([]SampledResult, len(engines))
+	for i, e := range engines {
+		r, err := sampledSet(ctx, f.subs, f.total, e, plan)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// sampledBlocksWarm streams every block once and pushes it through each
+// engine's time-sampling state machine while the decode is hot. State
+// (window phase, open snapshots, clusters) is carried per engine across
+// blocks, so the chunking is invisible: results match sampledTime exactly.
+func sampledBlocksWarm(ctx context.Context, bs trace.BlockSource, engines []fetch.Engine, plan SamplePlan) ([]SampledResult, error) {
+	states := make([]*timeSampler, len(engines))
+	for i, e := range engines {
+		states[i] = newTimeSampler(e, plan)
+	}
+	var buf []trace.Run
+	nb := bs.NumBlocks()
+	for b := 0; b < nb; b++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var err error
+		if buf, err = bs.BlockRuns(b, buf); err != nil {
+			return nil, err
+		}
+		for _, s := range states {
+			if err := s.feed(ctx, buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	results := make([]SampledResult, len(engines))
+	for i, s := range states {
+		results[i] = s.finish()
+	}
+	return results, nil
+}
+
+// sampledBlocksSkip replays only the measured windows: each window
+// [w*Period, w*Period+Window) is located with one O(log blocks) seek, its
+// spans are collected once, and every engine is fed the same spans between
+// Result snapshots — one variance cluster per window, exactly as the
+// in-memory skip path produces.
+func sampledBlocksSkip(ctx context.Context, bs trace.BlockSource, engines []fetch.Engine, plan SamplePlan) ([]SampledResult, error) {
+	cur := newBlockCursor(bs)
+	total := cur.total()
+	res := make([]fetch.Result, len(engines))
+	clusters := make([][]sampling.Cluster, len(engines))
+	res2 := make([]SampledResult, len(engines))
+	var spans []trace.Run
+	for start := int64(0); start < total; start += plan.Period {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		spans = spans[:0]
+		err := cur.walk(start, plan.Window, func(s uint64, cnt int64) {
+			spans = append(spans, trace.Run{Start: s, Len: cnt})
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range engines {
+			re, _ := e.(fetch.RunEngine)
+			prev := e.Result()
+			for _, sp := range spans {
+				feedSpan(e, re, sp.Start, sp.Len)
+			}
+			d := resultDelta(e.Result(), prev)
+			res[i] = resultAdd(res[i], d)
+			clusters[i] = append(clusters[i], sampling.Cluster{Instructions: d.Instructions, Misses: d.Misses})
+		}
+		// Guard against Period overflow at the extreme end of int64 space.
+		if start > total-plan.Period {
+			break
+		}
+	}
+	for i := range engines {
+		f := float64(0)
+		if total > 0 {
+			f = float64(res[i].Instructions) / float64(total)
+		}
+		res2[i] = SampledResult{
+			Measured: res[i],
+			Estimate: sampling.EstimateFrom(clusters[i], total, f),
+		}
+	}
+	return res2, nil
+}

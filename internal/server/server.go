@@ -189,7 +189,7 @@ type Server struct {
 	vars                                    *expvar.Map
 	mRequests, mAdmitted, mRejected, mDedup expvar.Int
 	mQueueTimeouts, mDegraded, mPanics      expvar.Int
-	mCanceled, mSampled                     expvar.Int
+	mCanceled, mSampled, mColumnar          expvar.Int
 }
 
 // New builds a Server from cfg.
@@ -212,6 +212,7 @@ func New(cfg Config) *Server {
 	s.vars.Set("panics_recovered_total", &s.mPanics)
 	s.vars.Set("canceled_total", &s.mCanceled)
 	s.vars.Set("sampling_tier_total", &s.mSampled)
+	s.vars.Set("columnar_tier_total", &s.mColumnar)
 	s.vars.Set("inflight_bytes", expvar.Func(func() any { return s.limiter.Used() }))
 	s.vars.Set("admission_queue", expvar.Func(func() any { return s.limiter.Queued() }))
 	s.vars.Set("ready", expvar.Func(func() any { return s.ready.Load() }))
@@ -712,13 +713,13 @@ func (sp SamplingSpec) mode() string {
 // sampledSweep runs one sampled pass over the run-compacted trace. The
 // compacted trace is ~6x smaller than the ref trace, which is exactly why
 // this is the mid-tier: requests whose refs are over the store budget
-// usually still fit as runs.
-func (s *Server) sampledSweep(ctx context.Context, p sweep.Pass, prof synth.Profile, seed uint64, n int64, spec SamplingSpec) (*sweep.SampledMatrix, error) {
-	runs, release, err := s.store.RunsOnly(ctx, prof, seed, n)
-	if err != nil {
-		return nil, err
-	}
-	defer release()
+// usually still fit as runs. With spill set (explicit sampling requests),
+// runs over budget fall back to iterating the on-disk columnar trace block
+// by block — the sampling ask is still satisfied exactly as specified, just
+// at disk bandwidth instead of RAM. The automatic ladder passes spill=false:
+// when the runs are over budget it prefers the EXACT columnar tier over
+// sampling from disk.
+func (s *Server) sampledSweep(ctx context.Context, p sweep.Pass, prof synth.Profile, seed uint64, n int64, spec SamplingSpec, spill bool) (*sweep.SampledMatrix, error) {
 	sp := sweep.SampledPass{LineSize: p.LineSize, Cells: p.Cells, CountDistinct: p.CountDistinct, Ctx: ctx}
 	if spec.Set > 1 {
 		sp.SetMod = spec.Set
@@ -726,18 +727,35 @@ func (s *Server) sampledSweep(ctx context.Context, p sweep.Pass, prof synth.Prof
 	} else {
 		sp.Window, sp.Period, sp.Warm = spec.Window, spec.Period, !spec.Skip
 	}
-	return sp.Run(runs)
+	runs, release, err := s.store.RunsOnly(ctx, prof, seed, n)
+	if err == nil {
+		defer release()
+		return sp.Run(runs)
+	}
+	if !spill || !errors.Is(err, synth.ErrOverBudget) {
+		return nil, err
+	}
+	cf, release, err := s.store.Columnar(ctx, prof, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	s.mColumnar.Add(1)
+	return sp.RunBlocks(cf)
 }
 
 // sweepMatrix answers one sweep through the degradation ladder. A request
 // carrying an explicit sampling spec runs sampled from the start (not
-// degraded: reduced fidelity was the ask). Otherwise: exact over the
-// materialized trace; if the store refuses, the sampling tier (auto-policy
-// sampled pass over the run-compacted trace, explicit intervals, degraded);
-// if even the compacted trace is over budget, streaming regeneration.
+// degraded: reduced fidelity was the ask; the sampled pass itself falls
+// back from RAM runs to the on-disk columnar trace). Otherwise: exact over
+// the materialized trace; if the store refuses, the sampling tier
+// (auto-policy sampled pass, explicit intervals, degraded); then the
+// columnar-disk tier (an EXACT answer iterated block by block from the
+// on-disk columnar trace at disk bandwidth); streaming regeneration only if
+// even the columnar file is over budget.
 func (s *Server) sweepMatrix(ctx context.Context, p sweep.Pass, prof synth.Profile, seed uint64, n int64, spec *SamplingSpec) (m *sweep.Matrix, sm *sweep.SampledMatrix, mode string, degraded bool, reason string, err error) {
 	if spec != nil {
-		sm, err = s.sampledSweep(ctx, p, prof, seed, n, *spec)
+		sm, err = s.sampledSweep(ctx, p, prof, seed, n, *spec, true)
 		if err == nil {
 			return nil, sm, spec.mode(), false, "", nil
 		}
@@ -746,7 +764,7 @@ func (s *Server) sweepMatrix(ctx context.Context, p sweep.Pass, prof synth.Profi
 		}
 		m, err = s.streamedSweep(ctx, p, prof, seed, n)
 		return m, nil, "", true,
-			"sampling requested but even the run-compacted trace exceeds the store's hard budget; streamed an exact answer instead", err
+			"sampling requested but even the columnar trace exceeds the store's hard budget; streamed an exact answer instead", err
 	}
 	refs, release, err := s.store.InstrCtx(ctx, prof, seed, n)
 	if err == nil {
@@ -758,7 +776,7 @@ func (s *Server) sweepMatrix(ctx context.Context, p sweep.Pass, prof synth.Profi
 		return nil, nil, "", false, "", err
 	}
 	auto := autoSweepSpec(p.Cells, n)
-	sm, err = s.sampledSweep(ctx, p, prof, seed, n, auto)
+	sm, err = s.sampledSweep(ctx, p, prof, seed, n, auto, false)
 	if err == nil {
 		s.mSampled.Add(1)
 		return nil, sm, auto.mode(), true,
@@ -767,8 +785,28 @@ func (s *Server) sweepMatrix(ctx context.Context, p sweep.Pass, prof synth.Profi
 	if !errors.Is(err, synth.ErrOverBudget) {
 		return nil, nil, "", false, "", err
 	}
+	m, err = s.columnarSweep(ctx, p, prof, seed, n)
+	if err == nil {
+		return m, nil, "", true,
+			"trace exceeds the store's hard RAM budget; answered exactly from the on-disk columnar trace", nil
+	}
+	if !errors.Is(err, synth.ErrOverBudget) {
+		return nil, nil, "", false, "", err
+	}
 	m, err = s.streamedSweep(ctx, p, prof, seed, n)
 	return m, nil, "", true, "trace exceeds the store's hard budget; streamed without materializing", err
+}
+
+// columnarSweep is the columnar-disk rung: an exact pass iterated block by
+// block over the store's on-disk columnar trace in O(block) memory.
+func (s *Server) columnarSweep(ctx context.Context, p sweep.Pass, prof synth.Profile, seed uint64, n int64) (*sweep.Matrix, error) {
+	cf, release, err := s.store.Columnar(ctx, prof, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	s.mColumnar.Add(1)
+	return p.RunBlocks(cf)
 }
 
 // streamedSweep is the last rung: an exact pass over streaming regeneration
@@ -883,26 +921,40 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 }
 
 // sampledReplay fans a time-sampled trace through the bank over the
-// run-compacted trace.
-func (s *Server) sampledReplay(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine, spec SamplingSpec) ([]replay.SampledResult, error) {
+// run-compacted trace. With spill set (explicit sampling requests), runs
+// over budget fall back to block-granular sampled replay over the on-disk
+// columnar trace — skip-mode plans then seek straight to each measured
+// window through the block index instead of decoding the gaps.
+func (s *Server) sampledReplay(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine, spec SamplingSpec, spill bool) ([]replay.SampledResult, error) {
+	plan := replay.SamplePlan{Window: spec.Window, Period: spec.Period, Warm: !spec.Skip}
 	runs, release, err := s.store.RunsOnly(ctx, prof, seed, n)
+	if err == nil {
+		defer release()
+		return replay.Sampled(ctx, runs, engines, plan)
+	}
+	if !spill || !errors.Is(err, synth.ErrOverBudget) {
+		return nil, err
+	}
+	cf, release, err := s.store.Columnar(ctx, prof, seed, n)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	plan := replay.SamplePlan{Window: spec.Window, Period: spec.Period, Warm: !spec.Skip}
-	return replay.Sampled(ctx, runs, engines, plan)
+	s.mColumnar.Add(1)
+	return replay.SampledBlocks(ctx, cf, engines, plan)
 }
 
 // replayBank fans the trace out through the engines, down the same
 // degradation ladder as sweepMatrix: an explicit sampling spec runs sampled
-// from the start (not degraded); otherwise exact over the memoized
-// run-compacted trace, then the automatic sampling tier (skip-mode time
-// sampling, degraded, intervals attached), then one streaming regeneration
-// per engine.
+// from the start (not degraded; the sampled replay itself falls back from
+// RAM runs to the on-disk columnar trace); otherwise exact over the
+// memoized run-compacted trace, then the automatic sampling tier (skip-mode
+// time sampling, degraded, intervals attached), then the columnar-disk tier
+// (EXACT block-granular fan-out from the on-disk columnar trace), and
+// finally one streaming regeneration per engine.
 func (s *Server) replayBank(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine, spec *SamplingSpec) (results []fetch.Result, sampled []replay.SampledResult, degraded bool, reason string, err error) {
 	if spec != nil {
-		sampled, err = s.sampledReplay(ctx, prof, seed, n, engines, *spec)
+		sampled, err = s.sampledReplay(ctx, prof, seed, n, engines, *spec, true)
 		if err == nil {
 			return nil, sampled, false, "", nil
 		}
@@ -911,7 +963,7 @@ func (s *Server) replayBank(ctx context.Context, prof synth.Profile, seed uint64
 		}
 		results, err = s.streamedReplay(ctx, prof, seed, n, engines)
 		return results, nil, true,
-			"sampling requested but even the run-compacted trace exceeds the store's hard budget; replayed exactly from streaming regeneration", err
+			"sampling requested but even the columnar trace exceeds the store's hard budget; replayed exactly from streaming regeneration", err
 	}
 	_, runs, release, err := s.store.InstrRuns(ctx, prof, seed, n)
 	if err == nil {
@@ -924,7 +976,7 @@ func (s *Server) replayBank(ctx context.Context, prof synth.Profile, seed uint64
 	}
 	w := autoWindow(n)
 	auto := SamplingSpec{Window: w, Period: autoPeriodMul * w, Skip: true}
-	sampled, err = s.sampledReplay(ctx, prof, seed, n, engines, auto)
+	sampled, err = s.sampledReplay(ctx, prof, seed, n, engines, auto, false)
 	if err == nil {
 		s.mSampled.Add(1)
 		return nil, sampled, true,
@@ -933,8 +985,29 @@ func (s *Server) replayBank(ctx context.Context, prof synth.Profile, seed uint64
 	if !errors.Is(err, synth.ErrOverBudget) {
 		return nil, nil, false, "", err
 	}
+	results, err = s.columnarReplay(ctx, prof, seed, n, engines)
+	if err == nil {
+		return results, nil, true,
+			"trace exceeds the store's hard RAM budget; answered exactly from the on-disk columnar trace", nil
+	}
+	if !errors.Is(err, synth.ErrOverBudget) {
+		return nil, nil, false, "", err
+	}
 	results, err = s.streamedReplay(ctx, prof, seed, n, engines)
 	return results, nil, true, "trace exceeds the store's hard budget; replayed from streaming regeneration", err
+}
+
+// columnarReplay is the replay path's columnar-disk rung: an exact
+// block-granular fan-out (each ~1 MB block decoded once and fed to every
+// engine while hot) over the store's on-disk columnar trace.
+func (s *Server) columnarReplay(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine) ([]fetch.Result, error) {
+	cf, release, err := s.store.Columnar(ctx, prof, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	s.mColumnar.Add(1)
+	return replay.Blocks(ctx, cf, engines)
 }
 
 // streamedReplay is the replay path's last rung: one exact streaming

@@ -759,3 +759,81 @@ func TestSamplingTierEngagesBeforeStreaming(t *testing.T) {
 		}
 	}
 }
+
+// The columnar-disk tier sits between sampling and streaming: a store whose
+// budget rejects even the run compaction but admits the much smaller
+// columnar file answers EXACTLY from disk — same numbers as an unlimited
+// store, marked degraded with a columnar reason and no sampling block. An
+// explicit sampling request at the same budget is satisfied as asked
+// (sampled over the columnar blocks, not degraded).
+func TestColumnarTierEngagesBeforeStreaming(t *testing.T) {
+	// eqntott at 100k: refs 1.6 MB, run compaction ~210 KB, columnar file
+	// tens of KB. 128 KiB sits between the last two.
+	const colBudget = 1 << 17
+	sreq := SweepRequest{Workload: "eqntott", Instructions: 100_000, LineSize: 32,
+		Cells: []CellSpec{{Sets: 256, Assoc: 1}, {Sets: 1024, Assoc: 1}}}
+	rreq := ReplayRequest{Workload: "eqntott", Instructions: 100_000,
+		Engines: []EngineSpec{{Size: 8192, LineSize: 32, Assoc: 1, Link: LinkSpec{Name: "economy"}}}}
+
+	_, ref := testServer(t, nil) // unlimited store: the exact oracle
+	var wantSweep SweepResponse
+	if code, raw := postJSON(t, ref.URL+"/v1/sweep", sreq, &wantSweep); code != 200 {
+		t.Fatalf("reference sweep = %d: %s", code, raw)
+	}
+	var wantReplay ReplayResponse
+	if code, raw := postJSON(t, ref.URL+"/v1/replay", rreq, &wantReplay); code != 200 {
+		t.Fatalf("reference replay = %d: %s", code, raw)
+	}
+
+	s, ts := testServer(t, func(c *Config) {
+		c.Store = synth.NewStoreLimits(1<<26, colBudget)
+	})
+	var sresp SweepResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/sweep", sreq, &sresp); code != 200 {
+		t.Fatalf("sweep = %d: %s", code, raw)
+	}
+	var rresp ReplayResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/replay", rreq, &rresp); code != 200 {
+		t.Fatalf("replay = %d: %s", code, raw)
+	}
+
+	if !sresp.Degraded || !strings.Contains(sresp.DegradedReason, "columnar") {
+		t.Errorf("sweep: degraded=%v reason=%q, want columnar tier", sresp.Degraded, sresp.DegradedReason)
+	}
+	if sresp.Sampling != nil {
+		t.Error("sweep: columnar tier attached a sampling block to an exact answer")
+	}
+	for i := range wantSweep.Cells {
+		if sresp.Cells[i].Misses != wantSweep.Cells[i].Misses {
+			t.Errorf("sweep cell %d: columnar %d misses, exact %d", i, sresp.Cells[i].Misses, wantSweep.Cells[i].Misses)
+		}
+	}
+	if !rresp.Degraded || !strings.Contains(rresp.DegradedReason, "columnar") {
+		t.Errorf("replay: degraded=%v reason=%q, want columnar tier", rresp.Degraded, rresp.DegradedReason)
+	}
+	for i := range wantReplay.Results {
+		if rresp.Results[i] != wantReplay.Results[i] {
+			t.Errorf("replay engine %d: columnar %+v != exact %+v", i, rresp.Results[i], wantReplay.Results[i])
+		}
+	}
+	if got := s.mColumnar.Value(); got != 2 {
+		t.Errorf("columnar_tier_total = %d, want 2", got)
+	}
+
+	// An explicit sampling ask at the same budget is served sampled from the
+	// columnar blocks — honored, so not degraded.
+	rreq.Sampling = &SamplingSpec{Window: 1000, Period: 8000, Skip: true}
+	var sampled ReplayResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/replay", rreq, &sampled); code != 200 {
+		t.Fatalf("sampled replay = %d: %s", code, raw)
+	}
+	if sampled.Degraded {
+		t.Errorf("explicit sampling over columnar marked degraded: %q", sampled.DegradedReason)
+	}
+	if sampled.Sampling == nil || sampled.Sampling.CI95 <= 0 {
+		t.Errorf("explicit sampling over columnar returned no intervals: %+v", sampled.Sampling)
+	}
+	if got := s.mColumnar.Value(); got != 3 {
+		t.Errorf("columnar_tier_total after sampled ask = %d, want 3", got)
+	}
+}

@@ -1,0 +1,95 @@
+package sweep
+
+import "ibsim/internal/trace"
+
+// Block-granular sweep entry points: the same matrices Run and SampledRun
+// produce, computed from a trace.BlockSource (a columnar file via mmap, or
+// any block-sliced trace) one block at a time. Live memory is one decoded
+// block plus the O(grid) stacks, independent of trace length — the path the
+// service's columnar-disk degradation tier rides when a workload's run list
+// exceeds the synth store's RAM budget but its columnar file fits on disk.
+
+// RunBlocks executes the pass over a block-granular trace and returns the
+// same miss matrix Run produces over the equivalent expanded refs (every
+// run instruction is an instruction fetch).
+func (p Pass) RunBlocks(bs trace.BlockSource) (*Matrix, error) {
+	m, groups, seen, shift, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
+	var buf []trace.Run
+	var ri int64
+	nb := bs.NumBlocks()
+	for b := 0; b < nb; b++ {
+		if p.Ctx != nil {
+			if err := p.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if buf, err = bs.BlockRuns(b, buf); err != nil {
+			return nil, err
+		}
+		for _, r := range buf {
+			addr := r.Start
+			for j := int64(0); j < r.Len; j++ {
+				if p.Ctx != nil && ri&cancelCheckMask == 0 {
+					if err := p.Ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				ri++
+				p.step(m, groups, seen, shift, addr)
+				addr += trace.InstrBytes
+			}
+		}
+	}
+	return m, nil
+}
+
+// RunBlocks executes the sampled pass over a block-granular trace. The
+// matrix is identical to Run over the concatenated runs: the set-only fast
+// path feeds runSetOnly one block at a time (its state is all in the
+// stacks), and the time/exhaustive path feeds the shared chunk driver with
+// the absolute position carried across blocks.
+func (p SampledPass) RunBlocks(bs trace.BlockSource) (*SampledMatrix, error) {
+	st, timeSample, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
+	var buf []trace.Run
+	var pos int64
+	nb := bs.NumBlocks()
+	if !timeSample && st.mod > 1 {
+		for b := 0; b < nb; b++ {
+			if p.Ctx != nil {
+				if err := p.Ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			if buf, err = bs.BlockRuns(b, buf); err != nil {
+				return nil, err
+			}
+			n, err := st.runSetOnly(buf, p.Ctx)
+			if err != nil {
+				return nil, err
+			}
+			pos += n
+		}
+		return p.assemble(st, pos), nil
+	}
+	for b := 0; b < nb; b++ {
+		if p.Ctx != nil {
+			if err := p.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if buf, err = bs.BlockRuns(b, buf); err != nil {
+			return nil, err
+		}
+		if pos, err = p.feed(st, buf, pos, timeSample); err != nil {
+			return nil, err
+		}
+	}
+	st.closeWindow()
+	return p.assemble(st, pos), nil
+}

@@ -147,11 +147,24 @@ func (p SampledPass) Run(runs []trace.Run) (*SampledMatrix, error) {
 		}
 		return p.assemble(st, total), nil
 	}
-	pos := int64(0)
+	pos, err := p.feed(st, runs, 0, timeSample)
+	if err != nil {
+		return nil, err
+	}
+	st.closeWindow()
+	return p.assemble(st, pos), nil
+}
+
+// feed advances the pass over the next chunk of runs, which begins at
+// absolute instruction position pos, and returns the advanced position. All
+// sampling state (window clusters, curWin, stacks) lives in st, so feeding
+// the trace as one slice or block by block produces identical matrices —
+// this is the shared core of Run and RunBlocks.
+func (p SampledPass) feed(st *sampledState, runs []trace.Run, pos int64, timeSample bool) (int64, error) {
 	for ri, r := range runs {
 		if p.Ctx != nil && ri&sampledRunCheckMask == 0 {
 			if err := p.Ctx.Err(); err != nil {
-				return nil, err
+				return 0, err
 			}
 		}
 		if !timeSample {
@@ -185,8 +198,7 @@ func (p SampledPass) Run(runs []trace.Run) (*SampledMatrix, error) {
 		}
 		pos += r.Len
 	}
-	st.closeWindow()
-	return p.assemble(st, pos), nil
+	return pos, nil
 }
 
 // prepare validates the sampled pass and builds its state.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 
 	"ibsim/internal/trace"
@@ -36,6 +37,9 @@ type storeKey struct {
 	// per-reference slice) — RunsOnly's key space, disjoint from Instr's so
 	// a budget admitting the runs never aliases an entry holding the refs.
 	runsOnly bool
+	// columnar marks entries holding an on-disk columnar trace file
+	// (Columnar's key space — see columnar.go).
+	columnar bool
 }
 
 // storeEntry is one memoized trace with its reference count.
@@ -51,15 +55,37 @@ type storeEntry struct {
 	runsOnce sync.Once
 	runs     []trace.Run
 
+	// Columnar entries live on disk instead of in refs/runs: cf is the
+	// opened file, path its location, fileBytes its on-disk size (what the
+	// budgets charge — the live-memory cost is one mmap'd block).
+	cf        *trace.ColumnarFile
+	path      string
+	fileBytes int64
+
 	refcount int
 	lastUse  int64 // store tick of the most recent acquire/release
 }
 
 // entryBytes is the retained size of an entry: the trace itself plus its
-// run-length compaction when one has been materialized. Callers must hold
-// the store mutex (runs is written under it).
+// run-length compaction when one has been materialized, or the on-disk file
+// size for columnar entries. Callers must hold the store mutex (runs is
+// written under it).
 func entryBytes(e *storeEntry) int64 {
-	return int64(len(e.refs))*refBytes + int64(len(e.runs))*runBytes
+	return int64(len(e.refs))*refBytes + int64(len(e.runs))*runBytes + e.fileBytes
+}
+
+// dropEntry releases an entry's out-of-heap resources: columnar entries
+// close their mapping and delete their backing file. In-memory entries are
+// garbage collected and need nothing.
+func dropEntry(e *storeEntry) {
+	if e.cf != nil {
+		e.cf.Close()
+		e.cf = nil
+	}
+	if e.path != "" {
+		os.Remove(e.path)
+		e.path = ""
+	}
 }
 
 // Stats reports store activity; Idle is the byte count held only by the
@@ -69,8 +95,12 @@ func entryBytes(e *storeEntry) int64 {
 type Stats struct {
 	Hits, Misses, Evictions int64
 	Fallbacks               int64
-	IdleBytes               int64
-	Entries                 int
+	// Spills counts columnar traces generated to disk (cache misses on the
+	// Columnar tier); SpillBytes is their current total on-disk footprint.
+	Spills     int64
+	SpillBytes int64
+	IdleBytes  int64
+	Entries    int
 }
 
 // Store memoizes materialized instruction traces keyed by
@@ -90,6 +120,7 @@ type Store struct {
 	idleBytes  int64
 	tick       int64
 	stats      Stats
+	dir        string // lazily created spill directory for columnar files
 }
 
 // NewStore returns an empty store keeping at most idleBudget bytes of
@@ -368,6 +399,7 @@ func (s *Store) release(key storeKey, e *storeEntry) {
 		if cur, ok := s.entries[key]; ok && cur == e {
 			delete(s.entries, key)
 		}
+		dropEntry(e)
 		return
 	}
 	s.tick++
@@ -395,7 +427,31 @@ func (s *Store) evictLocked() {
 		}
 		s.idleBytes -= entryBytes(victim)
 		delete(s.entries, victimKey)
+		dropEntry(victim)
 		s.stats.Evictions++
+	}
+}
+
+// Purge drops every idle entry — in-memory and on-disk — regardless of the
+// idle budget, and removes the store's spill directory if it is now empty.
+// Entries still referenced by an outstanding handle are untouched. Intended
+// for orderly shutdown (cmd/ibsimd) and tests; the store remains usable.
+func (s *Store) Purge() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, e := range s.entries {
+		if e.refcount != 0 {
+			continue
+		}
+		s.idleBytes -= entryBytes(e)
+		delete(s.entries, k)
+		dropEntry(e)
+		s.stats.Evictions++
+	}
+	if s.dir != "" {
+		if err := os.Remove(s.dir); err == nil {
+			s.dir = ""
+		}
 	}
 }
 
@@ -406,5 +462,8 @@ func (s *Store) Stats() Stats {
 	st := s.stats
 	st.IdleBytes = s.idleBytes
 	st.Entries = len(s.entries)
+	for _, e := range s.entries {
+		st.SpillBytes += e.fileBytes
+	}
 	return st
 }

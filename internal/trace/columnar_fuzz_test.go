@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// corpusColRuns is the reference trace the columnar corpus mutates: small
+// enough to encode fast, shaped to cover forward/backward deltas, multiple
+// domains, and a multi-instruction head block.
+var corpusColRuns = []Run{
+	{Start: 0x400000, Len: 12, Domain: User},
+	{Start: 0x80001000, Len: 3, Domain: Kernel},
+	{Start: 0x400040, Len: 200, Domain: User},
+	{Start: 0x30000f00, Len: 1, Domain: BSDServer},
+	{Start: 0x400360, Len: 40, Domain: User},
+}
+
+// encodeValidColumnar returns the columnar encoding of runs at the given
+// block size.
+func encodeValidColumnar(t testing.TB, runs []Run, blockBytes int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := EncodeColumnarSize(&buf, runs, blockBytes); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzColumnarRoundTrip checks that any encodable run sequence survives the
+// columnar encode → open → BlockRuns round trip bit-exactly, across block
+// sizes small enough to force multi-block files, and that salvage over the
+// intact image reports zero damage.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	f.Add(uint64(0x400000), int64(12), uint8(0), uint64(0x80001000), int64(3), uint8(2), uint64(0x400040), int64(200), uint8(0), 64)
+	f.Add(uint64(0), int64(1), uint8(0), ^uint64(0)-4096, int64(3), uint8(1), uint64(1<<40), int64(1<<20), uint8(3), 128)
+	f.Add(uint64(0x1000), int64(1), uint8(1), uint64(0x1000), int64(1), uint8(1), uint64(0x1000), int64(1), uint8(1), 1<<20)
+
+	f.Fuzz(func(t *testing.T, s1 uint64, l1 int64, d1 uint8,
+		s2 uint64, l2 int64, d2 uint8,
+		s3 uint64, l3 int64, d3 uint8, blockBytes int) {
+		mk := func(s uint64, l int64, d uint8) Run {
+			s &^= InstrBytes - 1 // the columnar format stores word addresses
+			if l < 1 {
+				l = 1
+			}
+			if l > maxRunLen {
+				l = maxRunLen
+			}
+			// Pull wrapping runs back from the top of the address space.
+			if end := s + uint64(l)*InstrBytes; end <= s && end != 0 {
+				s = ^uint64(0) - uint64(l)*InstrBytes + 1
+				s &^= InstrBytes - 1
+			}
+			return Run{Start: s, Len: l, Domain: Domain(d % uint8(NumDomains))}
+		}
+		in := []Run{mk(s1, l1, d1), mk(s2, l2, d2), mk(s3, l3, d3)}
+		if blockBytes < minBlockBytes {
+			blockBytes = minBlockBytes
+		}
+		if blockBytes > 1<<22 {
+			blockBytes = 1 << 22
+		}
+
+		var buf bytes.Buffer
+		if _, err := EncodeColumnarSize(&buf, in, blockBytes); err != nil {
+			t.Fatalf("encode rejected valid runs %+v: %v", in, err)
+		}
+		cf, err := NewColumnarBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("open rejected freshly written file: %v", err)
+		}
+		var out, blk []Run
+		for i := 0; i < cf.NumBlocks(); i++ {
+			if blk, err = cf.BlockRuns(i, blk); err != nil {
+				t.Fatalf("BlockRuns(%d): %v", i, err)
+			}
+			out = append(out, blk...)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("round trip yielded %d runs, want %d", len(out), len(in))
+		}
+		for i := range out {
+			if out[i] != in[i] {
+				t.Fatalf("run %d = %+v, want %+v", i, out[i], in[i])
+			}
+		}
+
+		sf, dmg, err := SalvageColumnarBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("salvage rejected intact file: %v", err)
+		}
+		if dmg.Damaged() {
+			t.Fatalf("salvage reported damage on intact file: %+v", dmg)
+		}
+		if sf.Refs() != cf.Refs() || sf.NumBlocks() != cf.NumBlocks() {
+			t.Fatal("salvage of intact file lost data")
+		}
+	})
+}
+
+// FuzzColumnarSalvage feeds arbitrary bytes to the columnar open and salvage
+// paths and asserts the error contract: no panics; open failures are typed
+// (ErrBadMagic / ErrBadVersion / ErrCorrupt / ErrTruncated); whatever
+// salvage keeps decodes cleanly — every surviving block passes its CRC and
+// yields structurally valid runs — and a damaged file carries a typed
+// damage classification.
+func FuzzColumnarSalvage(f *testing.F) {
+	valid := encodeValidColumnar(f, corpusColRuns, minBlockBytes)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // trailer cut
+	f.Add(valid[:colHeaderSize+3])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[colHeaderSize+10] ^= 0x40 // damage inside the first block
+	f.Add(corrupt)
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+
+	typed := func(err error) bool {
+		return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrBadVersion) ||
+			errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTruncated)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if cf, err := NewColumnarBytes(data); err != nil {
+			if !typed(err) {
+				t.Fatalf("open error is not typed: %v", err)
+			}
+		} else {
+			// An accepted file's blocks either decode or fail typed.
+			var blk []Run
+			for i := 0; i < cf.NumBlocks(); i++ {
+				if blk, err = cf.BlockRuns(i, blk); err != nil && !typed(err) {
+					t.Fatalf("block %d decode error is not typed: %v", i, err)
+				}
+			}
+		}
+
+		sf, dmg, err := SalvageColumnarBytes(data)
+		if err != nil {
+			if !typed(err) {
+				t.Fatalf("salvage error is not typed: %v", err)
+			}
+			return
+		}
+		if dmg.Damaged() && dmg.Err == nil && dmg.DroppedBlocks == 0 {
+			// IndexRebuilt alone must still carry the classification.
+			t.Fatalf("damage %+v lacks a typed classification", dmg)
+		}
+		if dmg.Err != nil && !typed(dmg.Err) {
+			t.Fatalf("damage classification is not typed: %v", dmg.Err)
+		}
+		var blk []Run
+		var refs, runs int64
+		for i := 0; i < sf.NumBlocks(); i++ {
+			if blk, err = sf.BlockRuns(i, blk); err != nil {
+				t.Fatalf("salvage kept undecodable block %d: %v", i, err)
+			}
+			for _, r := range blk {
+				if r.Len <= 0 || r.Domain >= NumDomains || r.Start%InstrBytes != 0 {
+					t.Fatalf("salvaged block %d holds invalid run %+v", i, r)
+				}
+				refs += r.Len
+			}
+			runs += int64(len(blk))
+		}
+		if refs != sf.Refs() || runs != sf.Runs() {
+			t.Fatalf("salvaged totals %d refs/%d runs disagree with file %d/%d", refs, runs, sf.Refs(), sf.Runs())
+		}
+		// The header is only 24 bytes; everything salvage keeps had to fit
+		// inside the input.
+		if sf.NumBlocks() > 0 && len(data) < colHeaderSize+colFrameSize+colPayloadMin {
+			t.Fatal("salvage conjured blocks from a headerless input")
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package trace
+
+import "fmt"
+
+// Adapters between the block-granular view (BlockSource) and the existing
+// run/reference streaming interfaces, so every consumer — the sweep engine,
+// the replay fan-out, Count, the v1 codec — can run off a columnar file, and
+// every in-memory []Run can masquerade as blocks for differential testing.
+
+// RunsBlocks adapts an in-memory run-compacted trace to BlockSource by
+// slicing it into fixed run-count blocks. It performs no encoding — BlockRuns
+// copies the slice into dst — so it is the reference implementation
+// differential checks compare a ColumnarFile against.
+type RunsBlocks struct {
+	runs []Run
+	per  int
+	cum  []int64
+}
+
+// NewRunsBlocks slices runs into blocks of per runs each (the last may be
+// short). per <= 0 defaults to one block holding everything.
+func NewRunsBlocks(runs []Run, per int) *RunsBlocks {
+	if per <= 0 {
+		per = len(runs)
+		if per == 0 {
+			per = 1
+		}
+	}
+	n := (len(runs) + per - 1) / per
+	cum := make([]int64, n+1)
+	var refs int64
+	for i := 0; i < n; i++ {
+		cum[i] = refs
+		for _, r := range runs[i*per : min(len(runs), (i+1)*per)] {
+			refs += r.Len
+		}
+	}
+	cum[n] = refs
+	return &RunsBlocks{runs: runs, per: per, cum: cum}
+}
+
+// NumBlocks implements BlockSource.
+func (b *RunsBlocks) NumBlocks() int { return len(b.cum) - 1 }
+
+// BlockMeta implements BlockSource.
+func (b *RunsBlocks) BlockMeta(i int) BlockMeta {
+	blk := b.block(i)
+	last := blk[len(blk)-1]
+	return BlockMeta{
+		Refs:      b.cum[i+1] - b.cum[i],
+		Runs:      len(blk),
+		FirstAddr: blk[0].Start,
+		LastAddr:  last.Start + uint64(last.Len-1)*InstrBytes,
+	}
+}
+
+// BlockRuns implements BlockSource.
+func (b *RunsBlocks) BlockRuns(i int, dst []Run) ([]Run, error) {
+	if i < 0 || i >= b.NumBlocks() {
+		return dst[:0], fmt.Errorf("trace: block %d out of range [0,%d)", i, b.NumBlocks())
+	}
+	return append(dst[:0], b.block(i)...), nil
+}
+
+// SeekRef mirrors ColumnarFile.SeekRef.
+func (b *RunsBlocks) SeekRef(pos int64) (block int, before int64, ok bool) {
+	return seekCum(b.cum, pos)
+}
+
+func (b *RunsBlocks) block(i int) []Run {
+	return b.runs[i*b.per : min(len(b.runs), (i+1)*b.per)]
+}
+
+// BlockRunSource streams a BlockSource as a sequential run iterator and as a
+// per-reference Source, decoding one block at a time into a reused buffer —
+// O(block) memory however large the trace. Like Reader, the two views must
+// not be mixed mid-run.
+type BlockRunSource struct {
+	bs   BlockSource
+	i    int   // next block to decode
+	buf  []Run // decoded current block
+	j    int   // next run within buf
+	off  int64 // per-ref cursor within buf[j-1] (Next view)
+	pend Run   // run being expanded by Next
+	err  error
+}
+
+// NewBlockRunSource returns a streaming view over bs from the first block.
+func NewBlockRunSource(bs BlockSource) *BlockRunSource {
+	return &BlockRunSource{bs: bs}
+}
+
+// NextRun yields the next run, decoding blocks on demand.
+func (s *BlockRunSource) NextRun() (Run, bool) {
+	if s.err == nil && s.off != 0 {
+		s.err = fmt.Errorf("trace: NextRun mid-expansion (mixed with Next)")
+		return Run{}, false
+	}
+	return s.nextRunRaw()
+}
+
+// Next implements Source, expanding runs to per-instruction references.
+func (s *BlockRunSource) Next() (Ref, bool) {
+	if s.off == 0 {
+		run, ok := s.nextRunRaw()
+		if !ok {
+			return Ref{}, false
+		}
+		s.pend = run
+	}
+	ref := Ref{Addr: s.pend.Start + uint64(s.off)*InstrBytes, Kind: IFetch, Domain: s.pend.Domain}
+	if s.off++; s.off == s.pend.Len {
+		s.off = 0
+	}
+	return ref, true
+}
+
+// nextRunRaw is NextRun without the mixed-view guard (Next's internal use).
+func (s *BlockRunSource) nextRunRaw() (Run, bool) {
+	if s.err != nil {
+		return Run{}, false
+	}
+	for s.j >= len(s.buf) {
+		if s.i >= s.bs.NumBlocks() {
+			return Run{}, false
+		}
+		s.buf, s.err = s.bs.BlockRuns(s.i, s.buf)
+		if s.err != nil {
+			return Run{}, false
+		}
+		s.i++
+		s.j = 0
+	}
+	r := s.buf[s.j]
+	s.j++
+	return r, true
+}
+
+// Err implements Source: the first decode error, if any.
+func (s *BlockRunSource) Err() error { return s.err }
+
+// Reset rewinds to the first block (clearing any sticky error).
+func (s *BlockRunSource) Reset() {
+	s.i, s.j, s.off, s.buf, s.err = 0, 0, 0, s.buf[:0], nil
+}
+
+// ColumnarStats summarizes a columnar file for inspection (ibstrace -file):
+// sizes, per-instruction cost, and the address-delta width histogram that
+// shows where the compression comes from.
+type ColumnarStats struct {
+	// Blocks, Runs, Refs are the file's block/run/instruction counts.
+	Blocks int
+	Runs   int64
+	Refs   int64
+	// FileBytes is the whole file; PayloadBytes just the block payloads.
+	FileBytes    int64
+	PayloadBytes int64
+	// BytesPerRef is FileBytes/Refs.
+	BytesPerRef float64
+	// DeltaWidth[n] counts runs whose address-delta varint took n+1 bytes.
+	DeltaWidth [10]int64
+}
+
+// Stats walks every block (CRC-checking as it goes) and summarizes the file.
+func (f *ColumnarFile) Stats() (ColumnarStats, error) {
+	st := ColumnarStats{
+		Blocks:    len(f.metas),
+		Runs:      f.runs,
+		Refs:      f.refs,
+		FileBytes: f.size,
+	}
+	var buf []Run
+	for i, m := range f.metas {
+		st.PayloadBytes += int64(m.PayloadLen)
+		var err error
+		if buf, err = f.BlockRuns(i, buf); err != nil {
+			return st, err
+		}
+		// Re-derive each run's delta width from the decoded runs (the
+		// canonical encoding makes this exact without re-parsing columns).
+		var prevEnd uint64
+		var vb [10]byte
+		for _, r := range buf {
+			delta := int64(r.Start/InstrBytes - prevEnd)
+			n := len(appendZigzag(vb[:0], delta))
+			st.DeltaWidth[n-1]++
+			prevEnd = r.End() / InstrBytes
+		}
+	}
+	if st.Refs > 0 {
+		st.BytesPerRef = float64(st.FileBytes) / float64(st.Refs)
+	}
+	return st, nil
+}

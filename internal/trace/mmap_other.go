@@ -1,0 +1,16 @@
+//go:build !unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile on platforms without a usable mmap always falls back to
+// sequential reads (OpenColumnar's ReaderAt mode).
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errNoMmap
+}
+
+var errNoMmap = errors.New("trace: mmap unavailable")

@@ -1,0 +1,26 @@
+//go:build unix
+
+package trace
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The returned release function unmaps; the
+// caller keeps ownership of f itself. Zero-length files cannot be mapped
+// (mmap(2) rejects length 0), and a parse needs the header and trailer
+// anyway, so tiny files fall back to reads like any mapping failure.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, nil, errNoMmap
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}
+
+var errNoMmap = errors.New("trace: mmap unavailable")
