@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check check-sampling bench-columnar chaos serve bench microbench vet cover tables extensions calibration examples clean
+.PHONY: all build test test-short race check check-sampling bench-columnar chaos cluster cluster-smoke serve bench microbench vet cover tables extensions calibration examples clean
 
 all: build vet test race check
 
@@ -51,15 +51,31 @@ bench-columnar:
 # Seeded fault-injection (chaos) suite under the race detector: trace-codec
 # corruption contracts, store budget fallback, worker panic isolation, the
 # ibstables interrupt/resume test, the service admission/degradation tests,
-# and the in-process server chaos scenarios (slow-loris, cancellation,
-# over-budget degradation, handler panic).
+# the in-process server chaos scenarios (slow-loris, cancellation,
+# over-budget degradation, handler panic), and the cluster coordinator
+# scenarios (worker kill mid-sweep, hung-worker hedging, corrupt partial,
+# cache poisoning, all-workers-lost local fallback).
 chaos:
 	$(GO) test -race ./internal/fault ./internal/atomicio ./internal/manifest \
-		./internal/server ./internal/server/client ./cmd/ibsimd
+		./internal/server ./internal/server/client ./internal/cluster ./cmd/ibsimd
 	$(GO) test -race -run 'Chaos|Robustness|Resilience|Worker|Salvage|Interrupt|Timeout|Stress' \
 		./internal/trace ./internal/check ./internal/experiments \
 		./internal/synth ./cmd/ibstables
 	$(GO) run -race ./cmd/ibscheck -faults -o ""
+
+# Cluster scale-out demo: spawn 3 local ibsimd workers, run the same sweep
+# through 1 worker and through the pool, verify the merged miss matrix is
+# byte-identical, then serve the sweep again from the content-addressed
+# result cache without touching a worker.
+cluster:
+	$(GO) run ./cmd/ibsctl -mode demo -spawn 3
+
+# Cluster robustness smoke (the CI gate): 3 spawned workers, one killed
+# abruptly mid-sweep. The sweep must survive via re-scatter, merge
+# byte-identical to a single-process run, and the hot repeat must be a
+# pure cache hit that scatters no shards.
+cluster-smoke:
+	$(GO) run ./cmd/ibsctl -mode smoke -spawn 3
 
 # Run the simulation service on the default loopback address.
 serve:

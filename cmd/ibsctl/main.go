@@ -1,0 +1,460 @@
+// Command ibsctl runs the cluster coordinator (internal/cluster) over a
+// pool of ibsimd workers: it consistent-hashes sweep shards across the
+// pool, merges the partial miss matrices, and fronts the whole thing with
+// the content-addressed result cache.
+//
+// Worker pools come from -workers (comma-separated base URLs of already
+// running ibsimd processes) or -spawn k, which forks k worker processes of
+// this same binary (each serving the full ibsimd API on an ephemeral
+// loopback port, exiting when ibsctl does).
+//
+// Modes:
+//
+//	-mode demo   time a sweep on one worker vs the pool, then again hot
+//	             from the cache; verify the merged matrix is identical to
+//	             the single-worker answer (default)
+//	-mode smoke  the CI robustness gate: 3 workers, one killed mid-sweep;
+//	             the merged matrix must be byte-identical to a
+//	             single-process run and the hot repeat must be served from
+//	             cache without touching a worker
+//
+// Exit codes: 0 on success, 1 on any failure or verification mismatch.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"ibsim/internal/cluster"
+	"ibsim/internal/server"
+	"ibsim/internal/server/client"
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("ibsctl", flag.ContinueOnError)
+	var (
+		mode        = fs.String("mode", "demo", "demo | smoke")
+		spawn       = fs.Int("spawn", 0, "spawn this many local worker processes")
+		workersFlag = fs.String("workers", "", "comma-separated ibsimd base URLs (alternative to -spawn)")
+		dir         = fs.String("dir", "", "durable cache/checkpoint directory (default: a fresh temp dir)")
+		workload    = fs.String("workload", "mpeg_play", "workload profile to sweep")
+		n           = fs.Int64("n", 2_000_000, "instructions per sweep")
+		seed        = fs.Uint64("seed", 1, "workload seed offset")
+		timeout     = fs.Duration("timeout", 5*time.Minute, "overall deadline")
+		serveWorker = fs.Bool("serve-worker", false, "internal: run as a spawned worker process")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *serveWorker {
+		return runWorker()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	var urls []string
+	var procs []*workerProc
+	if *workersFlag != "" {
+		for _, u := range strings.Split(*workersFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+	}
+	want := *spawn
+	if *mode == "smoke" && want == 0 && len(urls) == 0 {
+		want = 3
+	}
+	if want > 0 {
+		var err error
+		procs, err = spawnWorkers(ctx, want)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibsctl: %v\n", err)
+			return 1
+		}
+		defer func() {
+			for _, p := range procs {
+				p.stop()
+			}
+		}()
+		for _, p := range procs {
+			urls = append(urls, p.url)
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "ibsctl: no workers; use -spawn k or -workers url,...")
+		return 1
+	}
+
+	cacheDir := *dir
+	if cacheDir == "" {
+		var err error
+		if cacheDir, err = os.MkdirTemp("", "ibsctl-*"); err != nil {
+			fmt.Fprintf(os.Stderr, "ibsctl: %v\n", err)
+			return 1
+		}
+		defer os.RemoveAll(cacheDir)
+	}
+
+	req := server.SweepRequest{
+		Workload:      *workload,
+		Seed:          *seed,
+		Instructions:  *n,
+		LineSize:      32,
+		Cells:         demoGrid(),
+		CountDistinct: true,
+	}
+
+	var err error
+	switch *mode {
+	case "demo":
+		err = demo(ctx, urls, cacheDir, req)
+	case "smoke":
+		err = smoke(ctx, urls, procs, cacheDir, req)
+	default:
+		err = fmt.Errorf("unknown -mode %q (have demo, smoke)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibsctl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// demoGrid is the sweep grid the demo and smoke paths shard: the paper's
+// capacity range at three associativities.
+func demoGrid() []server.CellSpec {
+	var cells []server.CellSpec
+	for _, sets := range []int{64, 128, 256, 512, 1024, 2048} {
+		for _, assoc := range []int{1, 2, 4} {
+			cells = append(cells, server.CellSpec{Sets: sets, Assoc: assoc})
+		}
+	}
+	return cells
+}
+
+// warm primes every worker's memoized trace store with the sweep's
+// workload identity (one trivial cell), so the timed comparison measures
+// sharded sweep compute, not redundant trace synthesis — the steady state
+// the consistent-hash placement maintains across repeated sweeps.
+func warm(ctx context.Context, urls []string, req server.SweepRequest) error {
+	small := req
+	small.Cells = req.Cells[:1]
+	small.CountDistinct = false
+	errs := make([]error, len(urls))
+	var wg sync.WaitGroup
+	for i, u := range urls {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			_, errs[i] = client.New(u).Sweep(ctx, small)
+		}(i, u)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("warming %s: %w", urls[i], err)
+		}
+	}
+	return nil
+}
+
+// newCoordinator builds a coordinator with snappy failover settings for
+// interactive use.
+func newCoordinator(urls []string, dir string) *cluster.Coordinator {
+	return cluster.New(cluster.Config{
+		Workers: urls,
+		Dir:     dir,
+		NewCaller: func(base string) cluster.Caller {
+			return client.New(base, client.WithRetries(2), client.WithBackoff(50*time.Millisecond, time.Second))
+		},
+		DisableLocalFallback: true,
+		Log:                  log.New(os.Stderr, "ibsctl: ", 0),
+	})
+}
+
+// normalize strips the timing field so two answers for the same work can be
+// compared byte for byte.
+func normalize(resp *server.SweepResponse) []byte {
+	c := *resp
+	c.ElapsedSeconds = 0
+	b, _ := json.Marshal(&c)
+	return b
+}
+
+func demo(ctx context.Context, urls []string, dir string, req server.SweepRequest) error {
+	fmt.Printf("pool: %d workers, grid %d cells x %d instructions of %s\n",
+		len(urls), len(req.Cells), req.Instructions, req.Workload)
+
+	if err := warm(ctx, urls, req); err != nil {
+		return err
+	}
+	fmt.Printf("warmed   : %d worker trace stores\n", len(urls))
+
+	one := newCoordinator(urls[:1], "")
+	defer one.Close()
+	start := time.Now()
+	ref, err := one.Sweep(ctx, req)
+	if err != nil {
+		return fmt.Errorf("single-worker sweep: %w", err)
+	}
+	tOne := time.Since(start)
+	fmt.Printf("1 worker : %v\n", tOne.Round(time.Millisecond))
+
+	co := newCoordinator(urls, dir)
+	defer co.Close()
+	start = time.Now()
+	merged, err := co.Sweep(ctx, req)
+	if err != nil {
+		return fmt.Errorf("cluster sweep: %w", err)
+	}
+	tAll := time.Since(start)
+	note := ""
+	if runtime.NumCPU() < len(urls) {
+		note = fmt.Sprintf("  [only %d CPU(s); spawned workers share cores, speedup needs >= %d]",
+			runtime.NumCPU(), len(urls))
+	}
+	fmt.Printf("%d workers: %v  (%.2fx)%s\n", len(urls), tAll.Round(time.Millisecond),
+		float64(tOne)/float64(tAll), note)
+
+	if !bytes.Equal(normalize(ref), normalize(merged)) {
+		return fmt.Errorf("merged matrix differs from the single-worker answer")
+	}
+	fmt.Printf("merge    : %d shards, matrix identical to single-worker run\n",
+		co.Metric("cluster_shards_total"))
+
+	start = time.Now()
+	hot, err := co.Sweep(ctx, req)
+	if err != nil {
+		return fmt.Errorf("hot sweep: %w", err)
+	}
+	tHot := time.Since(start)
+	if !bytes.Equal(normalize(merged), normalize(hot)) {
+		return fmt.Errorf("hot cache answer differs from the computed one")
+	}
+	fmt.Printf("hot cache: %v (cache hits %d, workers untouched)\n",
+		tHot.Round(time.Microsecond), co.Metric("cluster_cache_hit_total"))
+
+	fmt.Println("workers  :")
+	for _, st := range co.Status() {
+		fmt.Printf("  %-28s healthy=%v ewma=%.1fms\n", st.Addr, st.Healthy, st.EWMAMillis)
+	}
+	return nil
+}
+
+func smoke(ctx context.Context, urls []string, procs []*workerProc, dir string, req server.SweepRequest) error {
+	if len(urls) < 3 || len(procs) < 1 {
+		return fmt.Errorf("smoke needs 3 spawned workers (have %d urls, %d procs)", len(urls), len(procs))
+	}
+	co := newCoordinator(urls, dir)
+	defer co.Close()
+
+	// Scatter the sweep, then kill one worker while it is in flight: the
+	// coordinator must re-scatter the lost shards and still merge the
+	// exact answer.
+	type out struct {
+		resp *server.SweepResponse
+		err  error
+	}
+	done := make(chan out, 1)
+	start := time.Now()
+	go func() {
+		resp, err := co.Sweep(ctx, req)
+		done <- out{resp, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	procs[0].kill()
+	fmt.Printf("killed worker %s mid-sweep\n", procs[0].url)
+	res := <-done
+	if res.err != nil {
+		return fmt.Errorf("sweep did not survive the worker kill: %w", res.err)
+	}
+	fmt.Printf("sweep survived: %v, rescatters=%d hedges=%d\n",
+		time.Since(start).Round(time.Millisecond),
+		co.Metric("cluster_rescatter_total"), co.Metric("cluster_hedge_total"))
+
+	// Byte-identical to a single-process run (one surviving worker, no
+	// cache directory).
+	one := newCoordinator(urls[1:2], "")
+	defer one.Close()
+	ref, err := one.Sweep(ctx, req)
+	if err != nil {
+		return fmt.Errorf("reference sweep: %w", err)
+	}
+	if !bytes.Equal(normalize(ref), normalize(res.resp)) {
+		return fmt.Errorf("merged matrix is NOT byte-identical to the single-process run:\n merged: %s\n single: %s",
+			normalize(res.resp), normalize(ref))
+	}
+	fmt.Println("merged matrix byte-identical to single-process run")
+
+	// Hot repeat: served from cache without touching any worker, proven by
+	// the coordinator's own expvar counters.
+	shardsBefore := co.Metric("cluster_shards_total")
+	hitsBefore := co.Metric("cluster_cache_hit_total")
+	start = time.Now()
+	hot, err := co.Sweep(ctx, req)
+	if err != nil {
+		return fmt.Errorf("hot sweep: %w", err)
+	}
+	tHot := time.Since(start)
+	if !bytes.Equal(normalize(hot), normalize(res.resp)) {
+		return fmt.Errorf("hot cache answer differs from the computed one")
+	}
+	if co.Metric("cluster_cache_hit_total") != hitsBefore+1 {
+		return fmt.Errorf("hot sweep was not a cache hit (cluster_cache_hit_total=%d)",
+			co.Metric("cluster_cache_hit_total"))
+	}
+	if co.Metric("cluster_shards_total") != shardsBefore {
+		return fmt.Errorf("hot sweep scattered %d shards; cache should have served it",
+			co.Metric("cluster_shards_total")-shardsBefore)
+	}
+	fmt.Printf("hot cache: %v, no shards scattered\n", tHot.Round(time.Microsecond))
+	fmt.Println("cluster smoke PASS")
+	return nil
+}
+
+// workerProc is one spawned worker subprocess.
+type workerProc struct {
+	cmd   *exec.Cmd
+	url   string
+	stdin io.WriteCloser
+}
+
+// stop ends the worker gracefully (closing its stdin) and reaps it.
+func (p *workerProc) stop() {
+	if p.cmd.ProcessState != nil {
+		return
+	}
+	p.stdin.Close()
+	donec := make(chan struct{})
+	go func() { p.cmd.Wait(); close(donec) }()
+	select {
+	case <-donec:
+	case <-time.After(3 * time.Second):
+		p.cmd.Process.Kill()
+		<-donec
+	}
+}
+
+// kill terminates the worker abruptly — the smoke scenario's mid-sweep
+// failure.
+func (p *workerProc) kill() {
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+}
+
+// spawnWorkers forks n copies of this binary in -serve-worker mode and
+// waits for each to report its listen address.
+func spawnWorkers(ctx context.Context, n int) ([]*workerProc, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("resolving own binary: %w", err)
+	}
+	var procs []*workerProc
+	fail := func(err error) ([]*workerProc, error) {
+		for _, p := range procs {
+			p.kill()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, "-serve-worker")
+		cmd.Stderr = os.Stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("spawning worker %d: %w", i, err))
+		}
+		p := &workerProc{cmd: cmd, stdin: stdin}
+		url, err := awaitListen(ctx, stdout)
+		if err != nil {
+			p.kill()
+			return fail(fmt.Errorf("worker %d: %w", i, err))
+		}
+		p.url = url
+		procs = append(procs, p)
+	}
+	return procs, nil
+}
+
+// awaitListen reads the worker's "LISTEN <url>" handshake line.
+func awaitListen(ctx context.Context, stdout io.Reader) (string, error) {
+	type line struct {
+		url string
+		err error
+	}
+	ch := make(chan line, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if u, ok := strings.CutPrefix(sc.Text(), "LISTEN "); ok {
+				ch <- line{url: u}
+				return
+			}
+		}
+		ch <- line{err: fmt.Errorf("worker exited before announcing its address")}
+	}()
+	select {
+	case l := <-ch:
+		return l.url, l.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	case <-time.After(10 * time.Second):
+		return "", fmt.Errorf("timed out waiting for worker to listen")
+	}
+}
+
+// runWorker is the -serve-worker entry: a full ibsimd server on an
+// ephemeral loopback port, announced on stdout, alive until stdin closes
+// (parent exit) or a signal arrives.
+func runWorker() int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibsctl worker: %v\n", err)
+		return 1
+	}
+	fmt.Printf("LISTEN http://%s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	go func() {
+		io.Copy(io.Discard, os.Stdin) // parent closing our stdin is the shutdown signal
+		cancel()
+	}()
+
+	logger := log.New(os.Stderr, fmt.Sprintf("worker[%s]: ", ln.Addr()), 0)
+	cfg := server.Config{DrainTimeout: 2 * time.Second, Log: logger}
+	if err := server.New(cfg).Run(ctx, ln); err != nil {
+		logger.Printf("serve: %v", err)
+		return 1
+	}
+	return 0
+}

@@ -22,6 +22,9 @@ func TestRunChaosAllPass(t *testing.T) {
 		"chaos/server-slow-loris", "chaos/server-cancel",
 		"chaos/server-over-budget", "chaos/server-sampling-tier",
 		"chaos/server-panic",
+		"chaos/cluster-worker-kill", "chaos/cluster-hung-worker",
+		"chaos/cluster-corrupt-partial", "chaos/cluster-cache-poison",
+		"chaos/cluster-all-workers-lost",
 	}
 	if len(results) != len(want) {
 		t.Fatalf("%d scenarios, want %d", len(results), len(want))

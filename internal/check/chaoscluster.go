@@ -1,0 +1,501 @@
+package check
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ibsim/internal/cluster"
+	"ibsim/internal/fault"
+	"ibsim/internal/server"
+	"ibsim/internal/server/client"
+	"ibsim/internal/synth"
+)
+
+// The cluster chaos scenarios drive the scatter-gather coordinator
+// (internal/cluster) over live in-process workers through its failure
+// modes — a worker killed mid-sweep, a hung worker, a corrupt shard
+// checkpoint, a poisoned result cache, and total worker loss — and assert
+// the coordinator contract: the merged miss matrix stays byte-identical to
+// a single-process run, restarts resume from checkpointed partials,
+// corruption is caught by the manifest seal and recomputed, and losing
+// every worker degrades to local execution instead of refusing.
+
+// clusterGrid is an 8-cell sweep grid, enough to split across 2-3 shards.
+func clusterGrid() []server.CellSpec {
+	var cells []server.CellSpec
+	for _, sets := range []int{64, 128, 256, 512} {
+		for _, assoc := range []int{1, 2} {
+			cells = append(cells, server.CellSpec{Sets: sets, Assoc: assoc})
+		}
+	}
+	return cells
+}
+
+func clusterSweepReq(workload string, seed uint64, n int64) server.SweepRequest {
+	return server.SweepRequest{
+		Workload:      workload,
+		Seed:          seed,
+		Instructions:  n,
+		LineSize:      32,
+		CountDistinct: true,
+		Cells:         clusterGrid(),
+	}
+}
+
+// fastCaller is a worker client tuned for chaos runs: one quick retry so
+// failover decisions happen in milliseconds, not seconds.
+func fastCaller(base string) cluster.Caller {
+	return client.New(base, client.WithRetries(1), client.WithBackoff(5*time.Millisecond, 25*time.Millisecond))
+}
+
+// chaosCoordinator builds a coordinator over urls with fast failover and,
+// when dir != "", durable checkpoints and cache. Local fallback is off so
+// the scenarios observe pure scatter behavior.
+func chaosCoordinator(urls []string, dir string, shards int, hedge time.Duration) *cluster.Coordinator {
+	return cluster.New(cluster.Config{
+		Workers:              urls,
+		NewCaller:            fastCaller,
+		DisableLocalFallback: true,
+		Dir:                  dir,
+		MaxShards:            shards,
+		HedgeAfter:           hedge,
+		BackoffBase:          10 * time.Millisecond,
+		BackoffMax:           100 * time.Millisecond,
+	})
+}
+
+// normalizeSweepJSON renders a sweep response with the wall-clock field
+// zeroed, so two runs of the same work compare byte-identical.
+func normalizeSweepJSON(resp *server.SweepResponse) []byte {
+	cp := *resp
+	cp.ElapsedSeconds = 0
+	b, _ := json.Marshal(cp)
+	return b
+}
+
+// chaosClusterWorkerKill is the headline scenario: 3 workers, one killed
+// abruptly while it holds a shard mid-sweep. The merged matrix must still
+// land, byte-identical to a single-process run. Then a second sweep is
+// interrupted after exactly one shard checkpoints, and a restarted
+// coordinator must resume from the partial — recomputing only the missing
+// shard.
+func chaosClusterWorkerKill(prof synth.Profile, seed uint64) Result {
+	const name = "chaos/cluster-worker-kill"
+	const n = 30_000
+	dir, err := os.MkdirTemp("", "ibsim-chaos-cluster-")
+	if err != nil {
+		return fail(name, "tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The fault hook runs in two modes: mode 1 picks the first worker to
+	// reach the sweep stage as the victim and holds its request in flight
+	// while the kill lands; mode 2 lets exactly one sweep through globally
+	// and panics the rest, leaving a run half-checkpointed.
+	var (
+		mode       atomic.Int32
+		chosen     atomic.Int32
+		allowance  atomic.Int32
+		sweepCalls atomic.Int32
+	)
+	chosen.Store(-1)
+	victimc := make(chan int, 1)
+
+	workers := make([]*liveServer, 3)
+	alive := make([]bool, 3)
+	for i := range workers {
+		i := i
+		ls, err := startServer(server.Config{
+			Store: synth.NewStore(1 << 24),
+			FaultHook: func(stage string) {
+				if stage != "run:sweep" {
+					return
+				}
+				sweepCalls.Add(1)
+				switch mode.Load() {
+				case 1:
+					if chosen.CompareAndSwap(-1, int32(i)) {
+						victimc <- i
+						time.Sleep(250 * time.Millisecond)
+					}
+				case 2:
+					if allowance.Add(1) > 1 {
+						panic("chaos: injected shard failure")
+					}
+				}
+			},
+		})
+		if err != nil {
+			return fail(name, "starting worker %d: %v", i, err)
+		}
+		workers[i], alive[i] = ls, true
+	}
+	defer func() {
+		for i, ls := range workers {
+			if alive[i] {
+				ls.stop()
+			}
+		}
+	}()
+	urls := []string{workers[0].base, workers[1].base, workers[2].base}
+	req := clusterSweepReq(prof.Name, seed, n)
+
+	// Phase 1: kill 1 of 3 workers mid-sweep.
+	mode.Store(1)
+	c1 := chaosCoordinator(urls, dir, 3, -1)
+	defer c1.Close()
+	type sweepOut struct {
+		resp *server.SweepResponse
+		err  error
+	}
+	done := make(chan sweepOut, 1)
+	go func() {
+		r, e := c1.Sweep(context.Background(), req)
+		done <- sweepOut{r, e}
+	}()
+	var victim int
+	select {
+	case victim = <-victimc:
+	case <-time.After(10 * time.Second):
+		return fail(name, "no shard reached a worker within 10s")
+	}
+	workers[victim].hs.Close() // abrupt kill: connections severed mid-request
+	alive[victim] = false
+	out := <-done
+	mode.Store(0)
+	if out.err != nil {
+		return fail(name, "sweep died with the worker: %v", out.err)
+	}
+	if out.resp.Degraded {
+		return fail(name, "merged answer degraded despite 2 live workers: %s", out.resp.DegradedReason)
+	}
+	if c1.Metric("cluster_rescatter_total") == 0 {
+		return fail(name, "killed worker's shard was never re-scattered")
+	}
+	ref, err := client.New(workers[(victim+1)%3].base).Sweep(context.Background(), req)
+	if err != nil {
+		return fail(name, "single-process reference: %v", err)
+	}
+	if !bytes.Equal(normalizeSweepJSON(out.resp), normalizeSweepJSON(ref)) {
+		return fail(name, "merged matrix differs from single-process run")
+	}
+
+	// Phase 2: interrupt a fresh sweep after one shard checkpoints, then
+	// restart the coordinator against the same Dir.
+	var live []string
+	for i, ls := range workers {
+		if alive[i] {
+			live = append(live, ls.base)
+		}
+	}
+	req2 := clusterSweepReq(prof.Name, seed+1, n)
+	mode.Store(2)
+	c2 := chaosCoordinator(live, dir, 2, -1)
+	defer c2.Close()
+	if _, err := c2.Sweep(context.Background(), req2); err == nil {
+		mode.Store(0)
+		return fail(name, "interrupted sweep reported success")
+	}
+	mode.Store(0)
+
+	c3 := chaosCoordinator(live, dir, 2, -1)
+	defer c3.Close()
+	before := sweepCalls.Load()
+	resumed, err := c3.Sweep(context.Background(), req2)
+	if err != nil {
+		return fail(name, "restarted coordinator failed: %v", err)
+	}
+	if c3.Metric("cluster_checkpoint_resume_total") == 0 {
+		return fail(name, "restart did not resume from the checkpointed partial")
+	}
+	if delta := sweepCalls.Load() - before; delta != 1 {
+		return fail(name, "restart recomputed %d shards, want only the 1 missing", delta)
+	}
+	ref2, err := client.New(live[0]).Sweep(context.Background(), req2)
+	if err != nil {
+		return fail(name, "restart reference: %v", err)
+	}
+	if !bytes.Equal(normalizeSweepJSON(resumed), normalizeSweepJSON(ref2)) {
+		return fail(name, "resumed merge differs from single-process run")
+	}
+	return pass(name, "1/3 workers killed mid-sweep, merge byte-identical; restart resumed checkpointed shard, recomputed only the missing one")
+}
+
+// chaosClusterHungWorker hangs the first worker to reach the sweep stage:
+// the hedge must duplicate the straggling shard onto the other worker and
+// return the first answer long before the hang resolves.
+func chaosClusterHungWorker(prof synth.Profile, seed uint64) Result {
+	const name = "chaos/cluster-hung-worker"
+	const n = 20_000
+	const hang = 1200 * time.Millisecond
+
+	var hungPick atomic.Int32
+	hungPick.Store(-1)
+	var armed atomic.Bool
+	armed.Store(true)
+	workers := make([]*liveServer, 2)
+	for i := range workers {
+		i := i
+		ls, err := startServer(server.Config{
+			Store: synth.NewStore(1 << 24),
+			FaultHook: func(stage string) {
+				if stage != "run:sweep" || !armed.Load() {
+					return
+				}
+				if hungPick.CompareAndSwap(-1, int32(i)) {
+					time.Sleep(hang)
+				}
+			},
+		})
+		if err != nil {
+			return fail(name, "starting worker %d: %v", i, err)
+		}
+		workers[i] = ls
+	}
+	defer workers[0].stop()
+	defer workers[1].stop()
+
+	c := chaosCoordinator([]string{workers[0].base, workers[1].base}, "", 1, 50*time.Millisecond)
+	defer c.Close()
+	req := clusterSweepReq(prof.Name, seed+2, n)
+	start := time.Now()
+	resp, err := c.Sweep(context.Background(), req)
+	elapsed := time.Since(start)
+	armed.Store(false)
+	if err != nil {
+		return fail(name, "sweep failed under a hung worker: %v", err)
+	}
+	if elapsed >= hang {
+		return fail(name, "answer took %v — the hedge never rescued the request from the %v hang", elapsed, hang)
+	}
+	if c.Metric("cluster_hedge_total") == 0 {
+		return fail(name, "straggling shard was never hedged")
+	}
+	ref, err := client.New(workers[0].base).Sweep(context.Background(), req)
+	if err != nil {
+		return fail(name, "reference sweep: %v", err)
+	}
+	if !bytes.Equal(normalizeSweepJSON(resp), normalizeSweepJSON(ref)) {
+		return fail(name, "hedged answer differs from single-process run")
+	}
+	return pass(name, "hedge outran a %v hang in %v; answer byte-identical", hang, elapsed.Round(time.Millisecond))
+}
+
+// chaosClusterCorruptPartial flips seeded bits in a checkpointed shard
+// partial: the manifest seal must catch it, the partial is discarded and
+// recomputed, and the final matrix is still exact.
+func chaosClusterCorruptPartial(prof synth.Profile, seed uint64) Result {
+	const name = "chaos/cluster-corrupt-partial"
+	const n = 20_000
+	dir, err := os.MkdirTemp("", "ibsim-chaos-cluster-")
+	if err != nil {
+		return fail(name, "tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	var armed atomic.Bool
+	armed.Store(true)
+	var allowance atomic.Int32
+	workers := make([]*liveServer, 2)
+	for i := range workers {
+		ls, err := startServer(server.Config{
+			Store: synth.NewStore(1 << 24),
+			FaultHook: func(stage string) {
+				if stage != "run:sweep" || !armed.Load() {
+					return
+				}
+				if allowance.Add(1) > 1 {
+					panic("chaos: injected shard failure")
+				}
+			},
+		})
+		if err != nil {
+			return fail(name, "starting worker %d: %v", i, err)
+		}
+		workers[i] = ls
+	}
+	defer workers[0].stop()
+	defer workers[1].stop()
+	urls := []string{workers[0].base, workers[1].base}
+	req := clusterSweepReq(prof.Name, seed+3, n)
+
+	c1 := chaosCoordinator(urls, dir, 2, -1)
+	defer c1.Close()
+	if _, err := c1.Sweep(context.Background(), req); err == nil {
+		return fail(name, "interrupted sweep reported success")
+	}
+	armed.Store(false)
+
+	var partials []string
+	filepath.WalkDir(filepath.Join(dir, "partials"), func(p string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(d.Name(), "shard-") {
+			partials = append(partials, p)
+		}
+		return nil
+	})
+	if len(partials) == 0 {
+		return fail(name, "interrupted run left no checkpointed partial to corrupt")
+	}
+	for _, p := range partials {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return fail(name, "reading partial: %v", err)
+		}
+		if err := os.WriteFile(p, fault.FlipBits(raw, seed^0xc02207, 3), 0o644); err != nil {
+			return fail(name, "corrupting partial: %v", err)
+		}
+	}
+
+	c2 := chaosCoordinator(urls, dir, 2, -1)
+	defer c2.Close()
+	resp, err := c2.Sweep(context.Background(), req)
+	if err != nil {
+		return fail(name, "sweep after corruption failed: %v", err)
+	}
+	if c2.Metric("cluster_checkpoint_corrupt_total") == 0 {
+		return fail(name, "corrupt partial was not detected")
+	}
+	if c2.Metric("cluster_checkpoint_resume_total") != 0 {
+		return fail(name, "coordinator resumed from a corrupt partial")
+	}
+	ref, err := client.New(urls[0]).Sweep(context.Background(), req)
+	if err != nil {
+		return fail(name, "reference sweep: %v", err)
+	}
+	if !bytes.Equal(normalizeSweepJSON(resp), normalizeSweepJSON(ref)) {
+		return fail(name, "recomputed matrix differs from single-process run")
+	}
+	return pass(name, "%d corrupted partial(s) caught by the seal and recomputed exactly", len(partials))
+}
+
+// chaosClusterCachePoison flips seeded bits in the on-disk result cache:
+// the content hash must reject the entry, and the sweep recomputes rather
+// than serving poisoned numbers.
+func chaosClusterCachePoison(prof synth.Profile, seed uint64) Result {
+	const name = "chaos/cluster-cache-poison"
+	const n = 20_000
+	dir, err := os.MkdirTemp("", "ibsim-chaos-cluster-")
+	if err != nil {
+		return fail(name, "tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	workers := make([]*liveServer, 2)
+	for i := range workers {
+		ls, err := startServer(server.Config{Store: synth.NewStore(1 << 24)})
+		if err != nil {
+			return fail(name, "starting worker %d: %v", i, err)
+		}
+		workers[i] = ls
+	}
+	defer workers[0].stop()
+	defer workers[1].stop()
+	urls := []string{workers[0].base, workers[1].base}
+	req := clusterSweepReq(prof.Name, seed+4, n)
+
+	c1 := chaosCoordinator(urls, dir, 2, -1)
+	defer c1.Close()
+	if _, err := c1.Sweep(context.Background(), req); err != nil {
+		return fail(name, "priming sweep failed: %v", err)
+	}
+
+	entries, err := os.ReadDir(filepath.Join(dir, "cache"))
+	if err != nil || len(entries) == 0 {
+		return fail(name, "no cache entry written to poison (err %v)", err)
+	}
+	for _, e := range entries {
+		p := filepath.Join(dir, "cache", e.Name())
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return fail(name, "reading cache entry: %v", err)
+		}
+		if err := os.WriteFile(p, fault.FlipBits(raw, seed^0x9015, 3), 0o644); err != nil {
+			return fail(name, "poisoning cache entry: %v", err)
+		}
+	}
+
+	c2 := chaosCoordinator(urls, dir, 2, -1)
+	defer c2.Close()
+	resp, err := c2.Sweep(context.Background(), req)
+	if err != nil {
+		return fail(name, "sweep against poisoned cache failed: %v", err)
+	}
+	if c2.Metric("cluster_cache_poison_total") == 0 {
+		return fail(name, "poisoned cache entry was not detected")
+	}
+	if c2.Metric("cluster_cache_hit_total") != 0 {
+		return fail(name, "poisoned entry was served from cache")
+	}
+	ref, err := client.New(urls[0]).Sweep(context.Background(), req)
+	if err != nil {
+		return fail(name, "reference sweep: %v", err)
+	}
+	if !bytes.Equal(normalizeSweepJSON(resp), normalizeSweepJSON(ref)) {
+		return fail(name, "recomputed matrix differs from single-process run")
+	}
+	return pass(name, "poisoned cache entry rejected by content hash, matrix recomputed exactly")
+}
+
+// chaosClusterAllWorkersLost kills every worker before the sweep: the
+// coordinator must degrade to its embedded local server — an explicitly
+// Degraded answer with exact numbers — instead of refusing.
+func chaosClusterAllWorkersLost(prof synth.Profile, seed uint64) Result {
+	const name = "chaos/cluster-all-workers-lost"
+	const n = 20_000
+
+	var urls []string
+	for i := 0; i < 2; i++ {
+		ls, err := startServer(server.Config{Store: synth.NewStore(1 << 24)})
+		if err != nil {
+			return fail(name, "starting worker %d: %v", i, err)
+		}
+		urls = append(urls, ls.base)
+		ls.hs.Close() // gone before the first request
+	}
+
+	c := cluster.New(cluster.Config{
+		Workers:     urls,
+		NewCaller:   fastCaller,
+		Store:       synth.NewStore(1 << 24),
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+	})
+	defer c.Close()
+	req := clusterSweepReq(prof.Name, seed+5, n)
+	resp, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		return fail(name, "coordinator refused with all workers lost: %v", err)
+	}
+	if !resp.Degraded || resp.DegradedReason == "" {
+		return fail(name, "local-fallback answer not marked degraded: %+v", resp.Degraded)
+	}
+	if c.Metric("cluster_local_fallback_total") == 0 {
+		return fail(name, "local fallback counter never moved")
+	}
+
+	healthy, err := startServer(server.Config{Store: synth.NewStore(1 << 24)})
+	if err != nil {
+		return fail(name, "starting reference server: %v", err)
+	}
+	defer healthy.stop()
+	ref, err := client.New(healthy.base).Sweep(context.Background(), req)
+	if err != nil {
+		return fail(name, "reference sweep: %v", err)
+	}
+	if resp.Accesses != ref.Accesses || resp.Distinct != ref.Distinct || len(resp.Cells) != len(ref.Cells) {
+		return fail(name, "degraded totals differ: accesses %d vs %d", resp.Accesses, ref.Accesses)
+	}
+	for i := range ref.Cells {
+		if resp.Cells[i].Misses != ref.Cells[i].Misses {
+			return fail(name, "cell %d: local fallback %d misses, reference %d", i, resp.Cells[i].Misses, ref.Cells[i].Misses)
+		}
+	}
+	return pass(name, "all workers lost: degraded local answer with exact miss counts")
+}

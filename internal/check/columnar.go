@@ -157,6 +157,40 @@ func ColumnarReplay(opt Options) ([]Result, error) {
 	}
 
 	out = append(out, timed(func() Result {
+		const name = "differential/blocks-parallel"
+		serialBank, err := columnarBank()
+		if err != nil {
+			harnessErr = err
+			return fail(name, "building bank: %v", err)
+		}
+		want, err := replay.Blocks(ctx, cf, serialBank)
+		if err != nil {
+			return fail(name, "serial block replay: %v", err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			parBank, err := columnarBank()
+			if err != nil {
+				harnessErr = err
+				return fail(name, "building bank: %v", err)
+			}
+			got, err := replay.BlocksParallel(ctx, cf, parBank, workers)
+			if err != nil {
+				return fail(name, "parallel block replay (workers=%d): %v", workers, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fail(name, "workers=%d engine %d diverges: %+v vs %+v", workers, i, got[i], want[i])
+				}
+			}
+		}
+		return pass(name, "%s: block-parallel fan-out == serial over %d blocks at 3 worker counts, bit-exact",
+			p.Name, cf.NumBlocks())
+	}))
+	if harnessErr != nil {
+		return out, harnessErr
+	}
+
+	out = append(out, timed(func() Result {
 		const name = "differential/columnar-sweep"
 		cells := []sweep.Cell{
 			{Sets: 128, Assoc: 1}, {Sets: 256, Assoc: 2}, {Sets: 512, Assoc: 1}, {Sets: 1024, Assoc: 4},

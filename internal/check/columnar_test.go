@@ -14,7 +14,7 @@ func TestColumnarReplayPasses(t *testing.T) {
 	if err != nil {
 		t.Fatalf("harness failure: %v", err)
 	}
-	want := []string{"differential/columnar-replay", "differential/columnar-sweep"}
+	want := []string{"differential/columnar-replay", "differential/blocks-parallel", "differential/columnar-sweep"}
 	if len(results) != len(want) {
 		t.Fatalf("%d results, want %d", len(results), len(want))
 	}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"encoding/json"
+	"expvar"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ibsim/internal/atomicio"
+	"ibsim/internal/manifest"
+	"ibsim/internal/server"
+)
+
+// The result cache is params-keyed and content-addressed: an entry's name
+// is manifest.Key over the request's identity fields, and its on-disk form
+// is manifest.Seal's digest envelope, so a poisoned or torn cache file is
+// detected on load and recomputed, never served. Entries coalesce
+// supersets: a sweep entry accumulates the union of every grid cell ever
+// computed for its (workload, seed, n, line size), and a replay entry the
+// union of every engine spec, so a later request whose cells are covered by
+// earlier, differently-shaped requests is served without touching a worker.
+
+// sweepBase is the identity of a sweep cache entry — everything that
+// changes the per-cell answers except the grid itself. CountDistinct is
+// deliberately not part of the identity: distinct-line counts ride along in
+// the entry and requests that don't ask for them still share it.
+type sweepBase struct {
+	Workload     string `json:"workload"`
+	Seed         uint64 `json:"seed"`
+	Instructions int64  `json:"instructions"`
+	LineSize     int    `json:"line_size"`
+}
+
+// sweepEntry is the accumulated union of computed cells for one base.
+type sweepEntry struct {
+	Base        sweepBase           `json:"base"`
+	Accesses    int64               `json:"accesses"`
+	HasDistinct bool                `json:"has_distinct,omitempty"`
+	Distinct    int64               `json:"distinct,omitempty"`
+	Cells       []server.CellResult `json:"cells"`
+}
+
+// find returns the cell result for a geometry, if present.
+func (e *sweepEntry) find(sets, assoc int) (server.CellResult, bool) {
+	for _, c := range e.Cells {
+		if c.Sets == sets && c.Assoc == assoc {
+			return c, true
+		}
+	}
+	return server.CellResult{}, false
+}
+
+// add inserts a cell result, first write wins (identical by construction:
+// exact sweeps of the same base are deterministic).
+func (e *sweepEntry) add(c server.CellResult) {
+	if _, ok := e.find(c.Sets, c.Assoc); !ok {
+		e.Cells = append(e.Cells, c)
+	}
+}
+
+// replayBase is the identity of a replay cache entry.
+type replayBase struct {
+	Workload     string `json:"workload"`
+	Seed         uint64 `json:"seed"`
+	Instructions int64  `json:"instructions"`
+}
+
+// replayCell is one engine's cached result, keyed by its full spec.
+type replayCell struct {
+	Spec   server.EngineSpec   `json:"spec"`
+	Result server.EngineResult `json:"result"`
+}
+
+// replayEntry is the accumulated union of computed engines for one base.
+// Engines of a bank are simulated independently, so per-engine results
+// compose across requests exactly like sweep cells do.
+type replayEntry struct {
+	Base    replayBase   `json:"base"`
+	Engines []replayCell `json:"engines"`
+}
+
+// specKey canonicalizes an engine spec for matching: the JSON encoding of
+// a fixed struct type is deterministic (declaration field order).
+func specKey(s server.EngineSpec) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+func (e *replayEntry) find(spec server.EngineSpec) (server.EngineResult, bool) {
+	want := specKey(spec)
+	for _, c := range e.Engines {
+		if specKey(c.Spec) == want {
+			return c.Result, true
+		}
+	}
+	return server.EngineResult{}, false
+}
+
+func (e *replayEntry) add(spec server.EngineSpec, r server.EngineResult) {
+	if _, ok := e.find(spec); !ok {
+		e.Engines = append(e.Engines, replayCell{Spec: spec, Result: r})
+	}
+}
+
+// resultCache is the in-memory map plus (when dir is set) the sealed
+// on-disk mirror that survives coordinator restarts.
+type resultCache struct {
+	dir    string // "" = memory only
+	poison *expvar.Int
+
+	mu      sync.Mutex
+	sweeps  map[string]*sweepEntry
+	replays map[string]*replayEntry
+}
+
+func newResultCache(dir string, poison *expvar.Int) *resultCache {
+	return &resultCache{
+		dir:     dir,
+		poison:  poison,
+		sweeps:  map[string]*sweepEntry{},
+		replays: map[string]*replayEntry{},
+	}
+}
+
+func (rc *resultCache) path(key string) string {
+	return filepath.Join(rc.dir, "cache", key+".json")
+}
+
+// loadFile reads and unseals one cache file; a broken seal (bit flip,
+// truncation, hand edit) counts as poisoning and deletes the file so the
+// entry is recomputed.
+func (rc *resultCache) loadFile(key string, into any) bool {
+	if rc.dir == "" {
+		return false
+	}
+	raw, err := os.ReadFile(rc.path(key))
+	if err != nil {
+		return false
+	}
+	payload, err := manifest.Unseal(raw)
+	if err == nil {
+		err = json.Unmarshal(payload, into)
+	}
+	if err != nil {
+		rc.poison.Add(1)
+		os.Remove(rc.path(key))
+		return false
+	}
+	return true
+}
+
+// storeFile seals and atomically writes one cache file.
+func (rc *resultCache) storeFile(key string, v any) {
+	if rc.dir == "" {
+		return
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Join(rc.dir, "cache"), 0o755); err != nil {
+		return
+	}
+	atomicio.WriteFile(rc.path(key), manifest.Seal(payload), 0o644)
+}
+
+// loadSweep returns the entry for key, consulting memory then disk. The
+// returned pointer is the cache's own copy; callers mutate it only under
+// the coordinator's per-key lock and persist via storeSweep.
+func (rc *resultCache) loadSweep(key string, base sweepBase) *sweepEntry {
+	rc.mu.Lock()
+	if e, ok := rc.sweeps[key]; ok {
+		rc.mu.Unlock()
+		return e
+	}
+	rc.mu.Unlock()
+	var e sweepEntry
+	if !rc.loadFile(key, &e) || e.Base != base {
+		return nil
+	}
+	rc.mu.Lock()
+	rc.sweeps[key] = &e
+	rc.mu.Unlock()
+	return &e
+}
+
+func (rc *resultCache) storeSweep(key string, e *sweepEntry) {
+	rc.mu.Lock()
+	rc.sweeps[key] = e
+	rc.mu.Unlock()
+	rc.storeFile(key, e)
+}
+
+func (rc *resultCache) loadReplay(key string, base replayBase) *replayEntry {
+	rc.mu.Lock()
+	if e, ok := rc.replays[key]; ok {
+		rc.mu.Unlock()
+		return e
+	}
+	rc.mu.Unlock()
+	var e replayEntry
+	if !rc.loadFile(key, &e) || e.Base != base {
+		return nil
+	}
+	rc.mu.Lock()
+	rc.replays[key] = &e
+	rc.mu.Unlock()
+	return &e
+}
+
+func (rc *resultCache) storeReplay(key string, e *replayEntry) {
+	rc.mu.Lock()
+	rc.replays[key] = e
+	rc.mu.Unlock()
+	rc.storeFile(key, e)
+}

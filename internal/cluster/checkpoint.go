@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"encoding/json"
+	"expvar"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ibsim/internal/atomicio"
+	"ibsim/internal/manifest"
+	"ibsim/internal/server"
+)
+
+// Shard checkpointing: while a sweep is in flight, every completed shard's
+// partial miss matrix is sealed and written atomically under
+// dir/partials/<runKey>/, alongside the shard plan itself. A coordinator
+// that crashes and restarts mid-sweep re-derives the same runKey (it is
+// content-addressed from the base and the missing cells), adopts the
+// persisted plan, and re-scatters only the shards without a verified
+// partial. A corrupt partial — torn write, flipped bit — fails its seal or
+// its shape check and is recomputed, never merged.
+
+// sweepPlan is the persisted shard split of one sweep run.
+type sweepPlan struct {
+	Base          sweepBase         `json:"base"`
+	CountDistinct bool              `json:"count_distinct"`
+	Cells         []server.CellSpec `json:"cells"`  // the cells being computed
+	Shards        [][]int           `json:"shards"` // per-shard indices into Cells
+}
+
+type checkpointer struct {
+	dir     string // "" disables checkpointing; all methods become no-ops
+	corrupt *expvar.Int
+}
+
+func (k *checkpointer) runDir(runKey string) string {
+	return filepath.Join(k.dir, "partials", runKey)
+}
+
+// loadPlan returns the persisted plan for runKey if one exists and matches
+// the run identity (base + cells); a stale or corrupt plan is discarded.
+func (k *checkpointer) loadPlan(runKey string, want *sweepPlan) (*sweepPlan, bool) {
+	if k.dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(filepath.Join(k.runDir(runKey), "plan.json"))
+	if err != nil {
+		return nil, false
+	}
+	payload, err := manifest.Unseal(raw)
+	if err != nil {
+		k.corrupt.Add(1)
+		return nil, false
+	}
+	var p sweepPlan
+	if json.Unmarshal(payload, &p) != nil ||
+		p.Base != want.Base || p.CountDistinct != want.CountDistinct || !sameCells(p.Cells, want.Cells) {
+		return nil, false
+	}
+	return &p, true
+}
+
+func sameCells(a, b []server.CellSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// savePlan persists the shard split before scattering.
+func (k *checkpointer) savePlan(runKey string, p *sweepPlan) {
+	if k.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(k.runDir(runKey), 0o755); err != nil {
+		return
+	}
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return
+	}
+	atomicio.WriteFile(filepath.Join(k.runDir(runKey), "plan.json"), manifest.Seal(payload), 0o644)
+}
+
+func (k *checkpointer) shardPath(runKey string, i int) string {
+	return filepath.Join(k.runDir(runKey), "shard-"+strconv.Itoa(i)+".json")
+}
+
+// loadShard returns shard i's checkpointed partial if its seal verifies; a
+// broken seal counts as corruption, deletes the file, and forces recompute.
+func (k *checkpointer) loadShard(runKey string, i int) (*server.SweepResponse, bool) {
+	if k.dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(k.shardPath(runKey, i))
+	if err != nil {
+		return nil, false
+	}
+	payload, err := manifest.Unseal(raw)
+	var resp server.SweepResponse
+	if err == nil {
+		err = json.Unmarshal(payload, &resp)
+	}
+	if err != nil {
+		k.corrupt.Add(1)
+		os.Remove(k.shardPath(runKey, i))
+		return nil, false
+	}
+	return &resp, true
+}
+
+// saveShard checkpoints one completed shard.
+func (k *checkpointer) saveShard(runKey string, i int, resp *server.SweepResponse) {
+	if k.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(k.runDir(runKey), 0o755); err != nil {
+		return
+	}
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	atomicio.WriteFile(k.shardPath(runKey, i), manifest.Seal(payload), 0o644)
+}
+
+// clear removes a finished run's checkpoint directory.
+func (k *checkpointer) clear(runKey string) {
+	if k.dir == "" {
+		return
+	}
+	os.RemoveAll(k.runDir(runKey))
+}

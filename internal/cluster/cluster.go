@@ -1,0 +1,460 @@
+// Package cluster is the scatter-gather coordinator that scales the
+// ibsimd simulation service horizontally: one coordinator consistent-hashes
+// sweep-grid shards and replay engine banks across N worker processes,
+// gathers the partial miss matrices, and merges them into the exact answer
+// a single process would have produced — per-cell sweep counts and
+// per-engine replay results are independent, so the merge is deterministic
+// and bit-identical to local execution.
+//
+// Placement is a consistent-hash ring over the worker addresses keyed on
+// the workload identity (profile, seed, instructions): every shard of one
+// workload walks the same ring order, so repeated sweeps of a workload land
+// on the same workers and their memoized synth stores stay hot.
+//
+// Robustness is the design center, matching the server's own contract:
+//
+//   - Health: every shard attempt feeds a per-worker EWMA latency and
+//     failure count; failing workers are marked down with capped backoff,
+//     and /readyz probes (Probe, Run) readmit them. A worker that answers
+//     with the typed client.ErrServerDraining is parked until a clean
+//     probe, not retried against.
+//   - Re-scatter: a failed shard moves to the next worker in its ring
+//     order; only structural failures (bad-request, not-found) abort the
+//     request, everything else fails over.
+//   - Hedging: when a shard's attempt outlives the hedge delay (explicit,
+//     or adaptive from the worker's EWMA), a duplicate attempt starts on
+//     the next worker and the first answer wins.
+//   - Checkpoints: each completed sweep shard is sealed
+//     (internal/manifest) and written atomically (internal/atomicio) under
+//     Dir/partials, so a restarted coordinator resumes a half-finished
+//     sweep instead of recomputing it; corrupt partials are detected by
+//     the seal and recomputed.
+//   - Result cache: finished exact results are content-addressed with
+//     manifest.Key and coalesced into superset entries (the union of all
+//     cells / engines ever computed for a base), so overlapping grids are
+//     served from cache without touching a worker.
+//   - Degradation: when every worker is lost, the coordinator falls back
+//     to a single-process embedded server on the loopback and marks the
+//     answer Degraded — reduced redundancy, never a refusal.
+//
+// The coordinator exports its counters via an expvar.Map (Vars):
+// cluster_requests_total, cluster_rescatter_total, cluster_cache_hit_total,
+// cluster_cache_miss_total, cluster_hedge_total, plus
+// cluster_shards_total, cluster_local_fallback_total,
+// cluster_checkpoint_resume_total, cluster_checkpoint_corrupt_total and
+// cluster_cache_poison_total.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"ibsim/internal/server"
+	"ibsim/internal/server/client"
+	"ibsim/internal/synth"
+)
+
+// Caller is the per-worker client surface the coordinator scatters through.
+// *client.Client implements it; tests substitute fakes.
+type Caller interface {
+	Sweep(ctx context.Context, req server.SweepRequest) (*server.SweepResponse, error)
+	Replay(ctx context.Context, req server.ReplayRequest) (*server.ReplayResponse, error)
+	ReadyCheck(ctx context.Context) error
+}
+
+// Config parameterizes a Coordinator. The zero value (no workers) is
+// usable: every request runs on the embedded local fallback.
+type Config struct {
+	// Workers are the ibsimd base URLs to scatter across.
+	Workers []string
+	// NewCaller builds the client for one worker base URL; nil uses the
+	// retrying internal/server/client with its defaults. Tests inject
+	// fakes here.
+	NewCaller func(base string) Caller
+	// Local overrides the all-workers-lost fallback path; nil lazily
+	// starts an embedded in-process server on the loopback.
+	Local Caller
+	// DisableLocalFallback turns the fallback off: a request whose shards
+	// exhaust every worker then fails instead of degrading.
+	DisableLocalFallback bool
+	// Dir is the durable root for the result cache and shard checkpoints;
+	// "" keeps the cache in memory only and disables checkpointing.
+	Dir string
+	// MaxShards caps how many shards one request is split into (default:
+	// the worker count).
+	MaxShards int
+	// HedgeAfter is the straggler hedge delay: 0 adapts to the target
+	// worker's EWMA latency, negative disables hedging.
+	HedgeAfter time.Duration
+	// ProbeInterval is Run's health-probe period (default 2s).
+	ProbeInterval time.Duration
+	// BackoffBase and BackoffMax bound the capped exponential down-marking
+	// of a failing worker (defaults 250ms / 15s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Store supplies the embedded fallback server's traces; nil uses
+	// synth.DefaultStore.
+	Store *synth.Store
+	// Log receives operational messages; nil discards them.
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.NewCaller == nil {
+		c.NewCaller = func(base string) Caller { return client.New(base) }
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = len(c.Workers)
+		if c.MaxShards == 0 {
+			c.MaxShards = 1
+		}
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 250 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 15 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = log.New(nilWriter{}, "", 0)
+	}
+	return c
+}
+
+type nilWriter struct{}
+
+func (nilWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Coordinator scatters sweep and replay requests across the worker pool.
+type Coordinator struct {
+	cfg     Config
+	workers []*worker
+	ring    *ring
+	cache   *resultCache
+	ckpt    *checkpointer
+
+	keyLocks sync.Map // base key -> *sync.Mutex
+
+	localOnce sync.Once
+	local     Caller
+	localErr  error
+	localStop context.CancelFunc
+	localDone chan struct{}
+
+	vars *expvar.Map
+	mRequests, mRescatter, mCacheHit, mCacheMiss, mHedge,
+	mShards, mLocal, mResume, mCorrupt, mPoison *expvar.Int
+}
+
+// New builds a Coordinator over cfg.Workers.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg, ring: newRing(cfg.Workers), vars: new(expvar.Map).Init()}
+	counter := func(name string) *expvar.Int {
+		v := new(expvar.Int)
+		c.vars.Set(name, v)
+		return v
+	}
+	c.mRequests = counter("cluster_requests_total")
+	c.mRescatter = counter("cluster_rescatter_total")
+	c.mCacheHit = counter("cluster_cache_hit_total")
+	c.mCacheMiss = counter("cluster_cache_miss_total")
+	c.mHedge = counter("cluster_hedge_total")
+	c.mShards = counter("cluster_shards_total")
+	c.mLocal = counter("cluster_local_fallback_total")
+	c.mResume = counter("cluster_checkpoint_resume_total")
+	c.mCorrupt = counter("cluster_checkpoint_corrupt_total")
+	c.mPoison = counter("cluster_cache_poison_total")
+	c.cache = newResultCache(cfg.Dir, c.mPoison)
+	c.ckpt = &checkpointer{dir: cfg.Dir, corrupt: c.mCorrupt}
+	for i, addr := range cfg.Workers {
+		c.workers = append(c.workers, &worker{idx: i, addr: addr, c: cfg.NewCaller(addr)})
+	}
+	return c
+}
+
+// Close stops the embedded fallback server, if one was started.
+func (c *Coordinator) Close() {
+	if c.localStop != nil {
+		c.localStop()
+		<-c.localDone
+	}
+}
+
+// Vars exposes the coordinator's expvar counters for publishing.
+func (c *Coordinator) Vars() *expvar.Map { return c.vars }
+
+// Metric returns one counter's current value (0 for unknown names).
+func (c *Coordinator) Metric(name string) int64 {
+	if v, ok := c.vars.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// Status snapshots every worker's health.
+func (c *Coordinator) Status() []WorkerStatus {
+	now := time.Now()
+	out := make([]WorkerStatus, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = w.status(now)
+	}
+	return out
+}
+
+// Probe health-checks every worker once, in parallel.
+func (c *Coordinator) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.probe(ctx, c.cfg.BackoffBase, c.cfg.BackoffMax)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run probes the pool every ProbeInterval until ctx ends — the background
+// health loop a long-lived coordinator process runs.
+func (c *Coordinator) Run(ctx context.Context) {
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.Probe(ctx)
+		}
+	}
+}
+
+// lockKey serializes work per cache base key, so two identical concurrent
+// requests cost one scatter (the second finds the cache warm). Lock
+// objects are retained per distinct key; a coordinator serves a bounded
+// parameter space, so this does not grow unboundedly in practice.
+func (c *Coordinator) lockKey(key string) func() {
+	v, _ := c.keyLocks.LoadOrStore(key, &sync.Mutex{})
+	mu := v.(*sync.Mutex)
+	mu.Lock()
+	return mu.Unlock
+}
+
+// liveWorkers returns the usable workers, probing the pool once if every
+// worker is currently marked down (they may have recovered).
+func (c *Coordinator) liveWorkers(ctx context.Context) []*worker {
+	pick := func() []*worker {
+		now := time.Now()
+		var live []*worker
+		for _, w := range c.workers {
+			if w.usable(now) {
+				live = append(live, w)
+			}
+		}
+		return live
+	}
+	live := pick()
+	if len(live) == 0 && len(c.workers) > 0 {
+		c.Probe(ctx)
+		live = pick()
+	}
+	return live
+}
+
+// localCaller lazily builds the all-workers-lost fallback: an embedded
+// in-process server on a loopback listener, reached through the same
+// client path as a remote worker.
+func (c *Coordinator) localCaller() (Caller, error) {
+	c.localOnce.Do(func() {
+		if c.cfg.Local != nil {
+			c.local = c.cfg.Local
+			return
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.localErr = fmt.Errorf("cluster: local fallback listener: %w", err)
+			return
+		}
+		srv := server.New(server.Config{Store: c.cfg.Store, Log: c.cfg.Log})
+		ctx, cancel := context.WithCancel(context.Background())
+		c.localStop = cancel
+		c.localDone = make(chan struct{})
+		go func() {
+			defer close(c.localDone)
+			srv.Run(ctx, ln)
+		}()
+		for i := 0; i < 200 && !srv.Ready(); i++ {
+			time.Sleep(5 * time.Millisecond)
+		}
+		c.cfg.Log.Printf("cluster: started local fallback server on %s", ln.Addr())
+		c.local = c.cfg.NewCaller("http://" + ln.Addr().String())
+	})
+	return c.local, c.localErr
+}
+
+// rotation returns the shard's worker preference order: the ring walk for
+// the workload key, rotated by the shard index so concurrent shards of one
+// request start on distinct workers while failover still follows the ring.
+func (c *Coordinator) rotation(ringKey uint64, shard int) []*worker {
+	order := c.ring.order(ringKey)
+	pref := make([]*worker, 0, len(order))
+	for i := range order {
+		pref = append(pref, c.workers[order[(shard+i)%len(order)]])
+	}
+	return pref
+}
+
+// errNoWorkers reports a scatter with no reachable worker and no fallback.
+var errNoWorkers = errors.New("cluster: no usable workers")
+
+// permanent reports failures that re-scattering cannot fix: the request
+// itself is structurally wrong, so every worker would refuse it the same
+// way.
+func permanent(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Detail.Kind {
+		case "bad-request", "not-found":
+			return true
+		}
+	}
+	return false
+}
+
+// hedgeDelay sizes the straggler hedge for an attempt against w: the
+// configured floor, or 4x the worker's smoothed latency when adapting.
+func (c *Coordinator) hedgeDelay(w *worker) time.Duration {
+	if c.cfg.HedgeAfter < 0 {
+		return time.Hour // effectively disabled
+	}
+	if c.cfg.HedgeAfter > 0 {
+		return c.cfg.HedgeAfter
+	}
+	if l := w.latency(); l > 0 {
+		d := 4 * l
+		if d < 200*time.Millisecond {
+			d = 200 * time.Millisecond
+		}
+		return d
+	}
+	return 500 * time.Millisecond
+}
+
+type attempt[T any] struct {
+	resp T
+	err  error
+}
+
+// runShard executes one shard: try the preference-ordered workers,
+// re-scattering on failure, hedging the straggler, and — when every worker
+// is exhausted — degrading to the local fallback. accept vets a response
+// before it wins (shape, scale, fidelity); a rejected response counts as a
+// failed attempt.
+func runShard[T any](c *Coordinator, ctx context.Context, what string, pref []*worker,
+	call func(context.Context, Caller) (T, error), accept func(T) error) (resp T, usedLocal bool, err error) {
+
+	var zero T
+	c.mShards.Add(1)
+	resp, err = runShardRemote(c, ctx, pref, call, accept)
+	if err == nil {
+		return resp, false, nil
+	}
+	if permanent(err) || ctx.Err() != nil || c.cfg.DisableLocalFallback {
+		return zero, false, fmt.Errorf("cluster: %s: %w", what, err)
+	}
+	lc, lerr := c.localCaller()
+	if lerr != nil {
+		return zero, false, fmt.Errorf("cluster: %s: %w (local fallback unavailable: %v)", what, err, lerr)
+	}
+	c.mLocal.Add(1)
+	c.cfg.Log.Printf("cluster: %s: all workers failed (%v); degrading to local execution", what, err)
+	resp, lerr = call(ctx, lc)
+	if lerr == nil {
+		lerr = accept(resp)
+	}
+	if lerr != nil {
+		return zero, false, fmt.Errorf("cluster: %s failed on all workers (%v) and locally: %w", what, err, lerr)
+	}
+	return resp, true, nil
+}
+
+// runShardRemote is the scatter engine proper: launch on the home worker,
+// hedge onto the next when the attempt outlives the hedge delay,
+// re-scatter on failure, first accepted answer wins. Worker health is fed
+// on every outcome; losing hedge attempts are cancelled and do not count
+// against their worker.
+func runShardRemote[T any](c *Coordinator, ctx context.Context, pref []*worker,
+	call func(context.Context, Caller) (T, error), accept func(T) error) (T, error) {
+
+	var zero T
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan attempt[T], len(pref))
+	next, inflight := 0, 0
+	var lastWorker *worker
+	launch := func(hedge bool) bool {
+		for next < len(pref) {
+			w := pref[next]
+			next++
+			if !w.usable(time.Now()) {
+				continue
+			}
+			if hedge {
+				c.mHedge.Add(1)
+			}
+			inflight++
+			lastWorker = w
+			go func() {
+				start := time.Now()
+				resp, err := call(actx, w.c)
+				w.observe(time.Since(start), err, c.cfg.BackoffBase, c.cfg.BackoffMax)
+				results <- attempt[T]{resp, err}
+			}()
+			return true
+		}
+		return false
+	}
+	if !launch(false) {
+		return zero, errNoWorkers
+	}
+	hedgeTimer := time.NewTimer(c.hedgeDelay(lastWorker))
+	defer hedgeTimer.Stop()
+	var lastErr error
+	for {
+		select {
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		case <-hedgeTimer.C:
+			launch(true)
+		case a := <-results:
+			inflight--
+			if a.err == nil {
+				if aerr := accept(a.resp); aerr != nil {
+					a.err = aerr
+				} else {
+					return a.resp, nil
+				}
+			}
+			lastErr = a.err
+			if permanent(a.err) {
+				return zero, a.err
+			}
+			if launch(false) {
+				c.mRescatter.Add(1)
+			} else if inflight == 0 {
+				return zero, fmt.Errorf("all workers exhausted: %w", lastErr)
+			}
+		}
+	}
+}

@@ -1,0 +1,722 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ibsim/internal/server"
+	"ibsim/internal/server/client"
+)
+
+// The unit suite drives the coordinator against fake workers whose answers
+// follow a closed-form formula, so sharding, merging, caching, failover,
+// hedging, checkpoint resume, and corruption handling are all asserted
+// against exact expected values without running simulations. The live
+// end-to-end path (real ibsimd workers over HTTP) is covered by the
+// chaos/cluster-* scenarios in internal/check and the make cluster smoke.
+
+func fakeMisses(cs server.CellSpec) int64 { return int64(cs.Sets*31 + cs.Assoc*7) }
+
+func fakeSweepResp(req server.SweepRequest) *server.SweepResponse {
+	resp := &server.SweepResponse{
+		Workload:     req.Workload,
+		Seed:         req.Seed,
+		Instructions: req.Instructions,
+		LineSize:     req.LineSize,
+		Accesses:     req.Instructions / 2,
+	}
+	if req.CountDistinct {
+		resp.Distinct = req.Instructions / 100
+	}
+	for _, cs := range req.Cells {
+		resp.Cells = append(resp.Cells, server.CellResult{
+			Sets: cs.Sets, Assoc: cs.Assoc, SizeBytes: cs.Sets * cs.Assoc * req.LineSize,
+			Misses: fakeMisses(cs),
+		})
+	}
+	if req.Sampling != nil {
+		resp.Sampling = &server.SamplingInfo{Mode: "time", Coverage: 0.25, CI95: 0.001,
+			MeasuredInstructions: req.Instructions / 4}
+	}
+	return resp
+}
+
+func fakeEngineResult(spec server.EngineSpec, n int64) server.EngineResult {
+	return server.EngineResult{
+		Instructions: n,
+		Misses:       int64(spec.Size/64 + spec.Assoc),
+		StallCycles:  int64(spec.Size / 8),
+		CPI:          1.5,
+		MPI:          float64(spec.Assoc) / 100,
+	}
+}
+
+// fakeCaller is one scripted worker.
+type fakeCaller struct {
+	name  string
+	delay time.Duration
+
+	mu      sync.Mutex
+	sweeps  []server.SweepRequest
+	replays []server.ReplayRequest
+
+	sweepErr  func(req server.SweepRequest) error
+	replayErr func(req server.ReplayRequest) error
+	readyErr  error
+}
+
+func (f *fakeCaller) wait(ctx context.Context) error {
+	if f.delay <= 0 {
+		return nil
+	}
+	select {
+	case <-time.After(f.delay):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (f *fakeCaller) Sweep(ctx context.Context, req server.SweepRequest) (*server.SweepResponse, error) {
+	f.mu.Lock()
+	f.sweeps = append(f.sweeps, req)
+	f.mu.Unlock()
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	if f.sweepErr != nil {
+		if err := f.sweepErr(req); err != nil {
+			return nil, err
+		}
+	}
+	return fakeSweepResp(req), nil
+}
+
+func (f *fakeCaller) Replay(ctx context.Context, req server.ReplayRequest) (*server.ReplayResponse, error) {
+	f.mu.Lock()
+	f.replays = append(f.replays, req)
+	f.mu.Unlock()
+	if err := f.wait(ctx); err != nil {
+		return nil, err
+	}
+	if f.replayErr != nil {
+		if err := f.replayErr(req); err != nil {
+			return nil, err
+		}
+	}
+	resp := &server.ReplayResponse{Workload: req.Workload, Seed: req.Seed, Instructions: req.Instructions}
+	for _, spec := range req.Engines {
+		resp.Results = append(resp.Results, fakeEngineResult(spec, req.Instructions))
+	}
+	if req.Sampling != nil {
+		resp.Sampling = &server.SamplingInfo{Mode: "time", Coverage: 0.25, CI95: 0.002}
+	}
+	return resp, nil
+}
+
+func (f *fakeCaller) ReadyCheck(context.Context) error { return f.readyErr }
+
+// sweptCells returns every cell the worker was ever asked to compute.
+func (f *fakeCaller) sweptCells() []server.CellSpec {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []server.CellSpec
+	for _, req := range f.sweeps {
+		out = append(out, req.Cells...)
+	}
+	return out
+}
+
+// pool builds a coordinator over n fakes.
+func pool(t *testing.T, n int, cfg Config) (*Coordinator, []*fakeCaller) {
+	t.Helper()
+	fakes := map[string]*fakeCaller{}
+	var list []*fakeCaller
+	for i := 0; i < n; i++ {
+		name := "http://worker-" + string(rune('a'+i))
+		f := &fakeCaller{name: name}
+		fakes[name] = f
+		list = append(list, f)
+		cfg.Workers = append(cfg.Workers, name)
+	}
+	cfg.NewCaller = func(base string) Caller { return fakes[base] }
+	if cfg.DisableLocalFallback && cfg.Local == nil {
+		cfg.Local = &fakeCaller{name: "local"}
+	}
+	c := New(cfg)
+	t.Cleanup(c.Close)
+	return c, list
+}
+
+func grid() []server.CellSpec {
+	return []server.CellSpec{
+		{Sets: 64, Assoc: 1}, {Sets: 128, Assoc: 1}, {Sets: 256, Assoc: 2}, {Sets: 512, Assoc: 2},
+		{Sets: 1024, Assoc: 4}, {Sets: 2048, Assoc: 1}, {Sets: 128, Assoc: 4}, {Sets: 64, Assoc: 8},
+	}
+}
+
+func sweepReq() server.SweepRequest {
+	return server.SweepRequest{Workload: "mpeg_play", Seed: 7, Instructions: 100_000,
+		LineSize: 32, Cells: grid(), CountDistinct: true}
+}
+
+func checkSweepResp(t *testing.T, resp *server.SweepResponse, req server.SweepRequest) {
+	t.Helper()
+	if resp.Accesses != req.Instructions/2 {
+		t.Errorf("accesses = %d, want %d", resp.Accesses, req.Instructions/2)
+	}
+	if req.CountDistinct && resp.Distinct != req.Instructions/100 {
+		t.Errorf("distinct = %d, want %d", resp.Distinct, req.Instructions/100)
+	}
+	if len(resp.Cells) != len(req.Cells) {
+		t.Fatalf("%d cells, want %d", len(resp.Cells), len(req.Cells))
+	}
+	for i, cs := range req.Cells {
+		got := resp.Cells[i]
+		if got.Sets != cs.Sets || got.Assoc != cs.Assoc || got.Misses != fakeMisses(cs) {
+			t.Errorf("cell %d = %+v, want %dx%d misses %d", i, got, cs.Sets, cs.Assoc, fakeMisses(cs))
+		}
+	}
+}
+
+func TestSweepShardsAcrossWorkersAndMerges(t *testing.T) {
+	c, fakes := pool(t, 3, Config{DisableLocalFallback: true})
+	req := sweepReq()
+	resp, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req)
+	if resp.Degraded {
+		t.Errorf("degraded answer from a healthy pool: %s", resp.DegradedReason)
+	}
+	busy := 0
+	total := 0
+	for _, f := range fakes {
+		cells := f.sweptCells()
+		total += len(cells)
+		if len(cells) > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Errorf("only %d workers received shards; sharding did not spread", busy)
+	}
+	if total != len(req.Cells) {
+		t.Errorf("workers computed %d cells in total, want exactly %d (no duplication)", total, len(req.Cells))
+	}
+	if got := c.Metric("cluster_requests_total"); got != 1 {
+		t.Errorf("cluster_requests_total = %d, want 1", got)
+	}
+	if got := c.Metric("cluster_cache_miss_total"); got != 1 {
+		t.Errorf("cluster_cache_miss_total = %d, want 1", got)
+	}
+}
+
+func TestSweepCacheHitAndSupersetCoalescing(t *testing.T) {
+	c, fakes := pool(t, 2, Config{DisableLocalFallback: true})
+	req := sweepReq()
+	if _, err := c.Sweep(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	// A subset grid (different order) must be served wholly from cache.
+	sub := req
+	sub.Cells = []server.CellSpec{{Sets: 512, Assoc: 2}, {Sets: 64, Assoc: 1}}
+	before := 0
+	for _, f := range fakes {
+		before += len(f.sweptCells())
+	}
+	resp, err := c.Sweep(context.Background(), sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, sub)
+	after := 0
+	for _, f := range fakes {
+		after += len(f.sweptCells())
+	}
+	if after != before {
+		t.Errorf("cache hit still touched workers: %d cells computed", after-before)
+	}
+	if got := c.Metric("cluster_cache_hit_total"); got != 1 {
+		t.Errorf("cluster_cache_hit_total = %d, want 1", got)
+	}
+
+	// An overlapping grid scatters only its new cells and coalesces them
+	// into the same entry.
+	over := req
+	over.Cells = []server.CellSpec{{Sets: 64, Assoc: 1}, {Sets: 4096, Assoc: 2}, {Sets: 256, Assoc: 2}}
+	resp, err = c.Sweep(context.Background(), over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, over)
+	fresh := 0
+	for _, f := range fakes {
+		fresh += len(f.sweptCells())
+	}
+	if fresh-after != 1 {
+		t.Errorf("overlap sweep computed %d cells, want only the 1 new one", fresh-after)
+	}
+
+	// The union entry now covers the overlap grid outright.
+	if _, err := c.Sweep(context.Background(), over); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metric("cluster_cache_hit_total"); got != 2 {
+		t.Errorf("cluster_cache_hit_total = %d, want 2", got)
+	}
+}
+
+func TestSweepRescattersOffFailingWorker(t *testing.T) {
+	c, fakes := pool(t, 3, Config{DisableLocalFallback: true})
+	fakes[1].sweepErr = func(server.SweepRequest) error { return errors.New("connection reset") }
+	req := sweepReq()
+	resp, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req)
+	if resp.Degraded {
+		t.Error("failover answer must not be degraded; the pool still served it")
+	}
+	// The failing worker may or may not have been in the shard plan, but a
+	// second sweep of a fresh grid must also succeed with it still broken.
+	req2 := req
+	req2.Seed = 99
+	if resp, err = c.Sweep(context.Background(), req2); err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req2)
+}
+
+func TestDrainingWorkerFailsOverAndIsParked(t *testing.T) {
+	c, fakes := pool(t, 2, Config{DisableLocalFallback: true})
+	drainErr := &client.APIError{Detail: server.ErrorDetail{
+		Status: 503, Kind: "draining", Message: "shutting down"}}
+	fakes[0].sweepErr = func(server.SweepRequest) error { return drainErr }
+	fakes[0].readyErr = drainErr
+	req := sweepReq()
+	resp, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req)
+	// The draining worker must be parked: a fresh sweep goes entirely to
+	// the healthy one.
+	n0 := len(fakes[0].sweptCells())
+	req2 := req
+	req2.Seed = 123
+	if _, err := c.Sweep(context.Background(), req2); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fakes[0].sweptCells()); got != n0 {
+		t.Errorf("parked draining worker received %d more cells", got-n0)
+	}
+	for _, st := range c.Status() {
+		if st.Addr == "http://worker-a" && !st.Draining {
+			t.Error("worker-a not marked draining in status")
+		}
+	}
+}
+
+func TestAllWorkersLostDegradesToLocal(t *testing.T) {
+	local := &fakeCaller{name: "local"}
+	c, fakes := pool(t, 2, Config{Local: local})
+	for _, f := range fakes {
+		f.sweepErr = func(server.SweepRequest) error { return errors.New("no route to host") }
+	}
+	req := sweepReq()
+	resp, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req)
+	if !resp.Degraded || !strings.Contains(resp.DegradedReason, "local fallback") {
+		t.Errorf("local-fallback answer not marked degraded: %+v", resp)
+	}
+	if got := c.Metric("cluster_local_fallback_total"); got == 0 {
+		t.Error("cluster_local_fallback_total = 0 after local execution")
+	}
+	// Degraded answers must not poison the cache: the same request later,
+	// with workers healthy again, recomputes and serves clean.
+	for _, f := range fakes {
+		f.sweepErr = nil
+	}
+	time.Sleep(2 * time.Millisecond)
+	resp, err = c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded {
+		t.Error("healthy pool still answered degraded; local result was cached")
+	}
+}
+
+func TestHedgeOutracesStraggler(t *testing.T) {
+	c, fakes := pool(t, 2, Config{DisableLocalFallback: true, HedgeAfter: 25 * time.Millisecond})
+	req := sweepReq()
+	req.Cells = req.Cells[:1] // one cell -> one shard -> one home worker
+	home := c.ring.order(workloadKey(req.Workload, req.Seed, req.Instructions))[0]
+	fakes[home].delay = 2 * time.Second
+	start := time.Now()
+	resp, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req)
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("hedge did not outrace the straggler: took %v", d)
+	}
+	if got := c.Metric("cluster_hedge_total"); got != 1 {
+		t.Errorf("cluster_hedge_total = %d, want 1", got)
+	}
+	// The straggler lost a race, it did not fail: it must not be down.
+	if st := c.Status()[home]; !st.Healthy {
+		t.Errorf("hedged-over worker marked unhealthy: %+v", st)
+	}
+}
+
+func TestCheckpointResumeSkipsFinishedShard(t *testing.T) {
+	dir := t.TempDir()
+	poison := server.CellSpec{Sets: 64, Assoc: 8} // in the last chunk of grid()
+	hasPoison := func(req server.SweepRequest) error {
+		for _, cs := range req.Cells {
+			if cs == poison {
+				time.Sleep(30 * time.Millisecond) // let sibling shards checkpoint first
+				return errors.New("injected shard failure")
+			}
+		}
+		return nil
+	}
+
+	c1, fakes1 := pool(t, 2, Config{Dir: dir, DisableLocalFallback: true, MaxShards: 2})
+	for _, f := range fakes1 {
+		f.sweepErr = hasPoison
+	}
+	c1.cfg.Local.(*fakeCaller).sweepErr = hasPoison
+	req := sweepReq()
+	if _, err := c1.Sweep(context.Background(), req); err == nil {
+		t.Fatal("sweep succeeded although one shard fails everywhere")
+	}
+	partials, err := filepath.Glob(filepath.Join(dir, "partials", "*", "shard-*.json"))
+	if err != nil || len(partials) == 0 {
+		t.Fatalf("no checkpointed partials on disk (err=%v)", err)
+	}
+
+	// A restarted coordinator adopts the persisted plan, resumes the
+	// checkpointed shard, and scatters only the failed one.
+	c2, fakes2 := pool(t, 2, Config{Dir: dir, DisableLocalFallback: true, MaxShards: 2})
+	resp, err := c2.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req)
+	if got := c2.Metric("cluster_checkpoint_resume_total"); got == 0 {
+		t.Error("cluster_checkpoint_resume_total = 0; resume did not engage")
+	}
+	for _, f := range fakes2 {
+		for _, cs := range f.sweptCells() {
+			found := false
+			for _, pc := range grid()[4:] { // second chunk of 8 cells at k=2
+				if cs == pc {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("resumed run recomputed already-checkpointed cell %+v", cs)
+			}
+		}
+	}
+	// The finished run's checkpoint directory is cleared.
+	if left, _ := filepath.Glob(filepath.Join(dir, "partials", "*", "shard-*.json")); len(left) != 0 {
+		t.Errorf("%d partials left after a completed run", len(left))
+	}
+}
+
+func TestCorruptPartialIsRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	poison := server.CellSpec{Sets: 64, Assoc: 8}
+	hasPoison := func(req server.SweepRequest) error {
+		for _, cs := range req.Cells {
+			if cs == poison {
+				time.Sleep(30 * time.Millisecond)
+				return errors.New("injected shard failure")
+			}
+		}
+		return nil
+	}
+	c1, fakes1 := pool(t, 2, Config{Dir: dir, DisableLocalFallback: true, MaxShards: 2})
+	for _, f := range fakes1 {
+		f.sweepErr = hasPoison
+	}
+	c1.cfg.Local.(*fakeCaller).sweepErr = hasPoison
+	req := sweepReq()
+	if _, err := c1.Sweep(context.Background(), req); err == nil {
+		t.Fatal("sweep succeeded although one shard fails everywhere")
+	}
+	partials, _ := filepath.Glob(filepath.Join(dir, "partials", "*", "shard-*.json"))
+	if len(partials) == 0 {
+		t.Fatal("no checkpointed partials on disk")
+	}
+	raw, err := os.ReadFile(partials[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(partials[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _ := pool(t, 2, Config{Dir: dir, DisableLocalFallback: true, MaxShards: 2})
+	resp, err := c2.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req)
+	if got := c2.Metric("cluster_checkpoint_corrupt_total"); got != 1 {
+		t.Errorf("cluster_checkpoint_corrupt_total = %d, want 1", got)
+	}
+}
+
+func TestPoisonedCacheEntryIsCaughtAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := pool(t, 2, Config{Dir: dir, DisableLocalFallback: true})
+	req := sweepReq()
+	if _, err := c1.Sweep(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "cache", "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("%d cache files, want 1", len(files))
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x08 // flip a payload bit; the seal digest no longer matches
+	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, fakes2 := pool(t, 2, Config{Dir: dir, DisableLocalFallback: true})
+	resp, err := c2.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req)
+	if got := c2.Metric("cluster_cache_poison_total"); got != 1 {
+		t.Errorf("cluster_cache_poison_total = %d, want 1", got)
+	}
+	if got := c2.Metric("cluster_cache_miss_total"); got != 1 {
+		t.Errorf("cluster_cache_miss_total = %d, want 1 (poisoned entry must not hit)", got)
+	}
+	touched := 0
+	for _, f := range fakes2 {
+		touched += len(f.sweptCells())
+	}
+	if touched != len(req.Cells) {
+		t.Errorf("recompute covered %d cells, want %d", touched, len(req.Cells))
+	}
+}
+
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := pool(t, 2, Config{Dir: dir, DisableLocalFallback: true})
+	req := sweepReq()
+	if _, err := c1.Sweep(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	c2, fakes2 := pool(t, 2, Config{Dir: dir, DisableLocalFallback: true})
+	resp, err := c2.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSweepResp(t, resp, req)
+	if got := c2.Metric("cluster_cache_hit_total"); got != 1 {
+		t.Errorf("cluster_cache_hit_total = %d, want 1 after restart", got)
+	}
+	for _, f := range fakes2 {
+		if len(f.sweptCells()) != 0 {
+			t.Error("restarted coordinator touched workers despite a durable cache entry")
+		}
+	}
+}
+
+func TestReplayShardingCacheAndCoalescing(t *testing.T) {
+	c, fakes := pool(t, 2, Config{DisableLocalFallback: true})
+	link := server.LinkSpec{Name: "l1l2"}
+	engines := []server.EngineSpec{
+		{Size: 8192, LineSize: 32, Assoc: 1, Link: link},
+		{Size: 16384, LineSize: 32, Assoc: 2, Link: link},
+		{Size: 32768, LineSize: 64, Assoc: 2, Link: link, Kind: "bypass"},
+		{Size: 16384, LineSize: 32, Assoc: 1, Link: link, Kind: "stream", Depth: 4},
+	}
+	req := server.ReplayRequest{Workload: "gcc", Seed: 3, Instructions: 50_000, Engines: engines}
+	resp, err := c.Replay(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(engines) {
+		t.Fatalf("%d results, want %d", len(resp.Results), len(engines))
+	}
+	for i, spec := range engines {
+		if resp.Results[i] != fakeEngineResult(spec, req.Instructions) {
+			t.Errorf("engine %d = %+v, want %+v", i, resp.Results[i], fakeEngineResult(spec, req.Instructions))
+		}
+	}
+	busy := 0
+	for _, f := range fakes {
+		f.mu.Lock()
+		if len(f.replays) > 0 {
+			busy++
+		}
+		f.mu.Unlock()
+	}
+	if busy != 2 {
+		t.Errorf("replay bank spread over %d workers, want 2", busy)
+	}
+
+	// Identical bank: pure cache hit.
+	if _, err := c.Replay(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metric("cluster_cache_hit_total"); got != 1 {
+		t.Errorf("cluster_cache_hit_total = %d, want 1", got)
+	}
+
+	// Overlapping bank, reordered, one new engine: only the new engine is
+	// scattered.
+	count := func() int {
+		n := 0
+		for _, f := range fakes {
+			f.mu.Lock()
+			for _, r := range f.replays {
+				n += len(r.Engines)
+			}
+			f.mu.Unlock()
+		}
+		return n
+	}
+	before := count()
+	over := req
+	over.Engines = []server.EngineSpec{engines[2], engines[0],
+		{Size: 65536, LineSize: 64, Assoc: 4, Link: link}}
+	resp, err = c.Replay(context.Background(), over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0] != fakeEngineResult(engines[2], req.Instructions) {
+		t.Error("reordered cached engine came back in the wrong slot")
+	}
+	if count()-before != 1 {
+		t.Errorf("overlap replay computed %d engines, want 1", count()-before)
+	}
+}
+
+func TestIssueMetricNamesExported(t *testing.T) {
+	c, _ := pool(t, 1, Config{DisableLocalFallback: true})
+	for _, name := range []string{
+		"cluster_requests_total", "cluster_rescatter_total",
+		"cluster_cache_hit_total", "cluster_cache_miss_total", "cluster_hedge_total",
+	} {
+		if c.Vars().Get(name) == nil {
+			t.Errorf("expvar %s not exported", name)
+		}
+	}
+}
+
+func TestRingOrderStableAndComplete(t *testing.T) {
+	addrs := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := newRing(addrs)
+	key := workloadKey("mpeg_play", 7, 2_000_000)
+	o1 := r.order(key)
+	o2 := newRing(addrs).order(key)
+	if len(o1) != len(addrs) {
+		t.Fatalf("order covers %d workers, want %d", len(o1), len(addrs))
+	}
+	seen := map[int]bool{}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("ring order not deterministic: %v vs %v", o1, o2)
+		}
+		seen[o1[i]] = true
+	}
+	if len(seen) != len(addrs) {
+		t.Fatalf("order repeats workers: %v", o1)
+	}
+	// Removing one worker must keep every key not homed on it in place.
+	moved := 0
+	const keys = 200
+	for i := 0; i < keys; i++ {
+		k := workloadKey("w", uint64(i), 1000)
+		full := r.order(k)
+		sub := newRing(addrs[:3]).order(k)
+		if full[0] != 3 && sub[0] != full[0] {
+			moved++
+		}
+	}
+	if moved > keys/10 {
+		t.Errorf("removing one worker moved %d/%d foreign keys; ring not consistent", moved, keys)
+	}
+}
+
+func TestChunkPartitions(t *testing.T) {
+	for _, tc := range []struct{ n, k, want int }{
+		{8, 3, 3}, {2, 5, 2}, {1, 1, 1}, {7, 7, 7}, {10, 1, 1},
+	} {
+		got := chunk(tc.n, tc.k)
+		if len(got) != tc.want {
+			t.Errorf("chunk(%d,%d) = %d shards, want %d", tc.n, tc.k, len(got), tc.want)
+		}
+		i := 0
+		for _, sh := range got {
+			if len(sh) == 0 {
+				t.Errorf("chunk(%d,%d) has an empty shard", tc.n, tc.k)
+			}
+			for _, v := range sh {
+				if v != i {
+					t.Fatalf("chunk(%d,%d) not contiguous: %v", tc.n, tc.k, got)
+				}
+				i++
+			}
+		}
+		if i != tc.n {
+			t.Errorf("chunk(%d,%d) covers %d items", tc.n, tc.k, i)
+		}
+	}
+}
+
+func TestSampledSweepScattersWithoutCaching(t *testing.T) {
+	c, _ := pool(t, 2, Config{DisableLocalFallback: true})
+	req := sweepReq()
+	req.Sampling = &server.SamplingSpec{Window: 1000, Period: 4000}
+	resp, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Sampling == nil {
+		t.Fatal("sampled sweep lost its sampling info in the merge")
+	}
+	if len(resp.Cells) != len(req.Cells) {
+		t.Fatalf("%d cells, want %d", len(resp.Cells), len(req.Cells))
+	}
+	// Sampled estimates never hit the exact cache, in either direction.
+	if got := c.Metric("cluster_cache_hit_total"); got != 0 {
+		t.Errorf("cluster_cache_hit_total = %d, want 0", got)
+	}
+	exact := sweepReq()
+	if _, err := c.Sweep(context.Background(), exact); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Metric("cluster_cache_hit_total"); got != 0 {
+		t.Errorf("exact sweep after sampled one hit the cache; fidelities must not mix")
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"ibsim/internal/server/client"
+)
+
+// Per-worker health state. Every shard attempt feeds back into it: a
+// success refreshes the EWMA latency (which sizes the adaptive hedge
+// delay), a failure marks the worker down for a capped-backoff interval so
+// repeated scatters stop hammering a dead process, and a typed
+// ErrServerDraining answer parks the worker until a /readyz probe sees it
+// healthy again.
+
+// ewmaAlpha is the weight of the newest latency sample.
+const ewmaAlpha = 0.2
+
+type worker struct {
+	idx  int
+	addr string
+	c    Caller
+
+	mu        sync.Mutex
+	ewma      time.Duration
+	fails     int
+	downUntil time.Time
+	draining  bool
+}
+
+// usable reports whether the worker should receive new shard attempts now.
+func (w *worker) usable(now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.draining && !now.Before(w.downUntil)
+}
+
+// observe feeds one attempt's outcome back into the health state. A
+// context cancellation is the coordinator's own doing (a hedge race lost,
+// a caller gone) and says nothing about the worker, so it is ignored.
+func (w *worker) observe(d time.Duration, err error, backoffBase, backoffMax time.Duration) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err == nil {
+		if w.ewma == 0 {
+			w.ewma = d
+		} else {
+			w.ewma = time.Duration((1-ewmaAlpha)*float64(w.ewma) + ewmaAlpha*float64(d))
+		}
+		w.fails = 0
+		w.draining = false
+		w.downUntil = time.Time{}
+		return
+	}
+	if errors.Is(err, client.ErrServerDraining) {
+		// A draining server refuses work until it dies; only a clean
+		// probe readmits it.
+		w.draining = true
+	}
+	w.fails++
+	backoff := backoffBase << (w.fails - 1)
+	if backoff > backoffMax || backoff <= 0 {
+		backoff = backoffMax
+	}
+	w.downUntil = time.Now().Add(backoff)
+}
+
+// probe hits /readyz and folds the answer into the health state. A clean
+// probe clears a draining or down mark immediately (no waiting out the
+// backoff window).
+func (w *worker) probe(ctx context.Context, backoffBase, backoffMax time.Duration) error {
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	err := w.c.ReadyCheck(pctx)
+	w.observe(time.Since(start), err, backoffBase, backoffMax)
+	return err
+}
+
+// latency returns the smoothed latency estimate (0 before any sample).
+func (w *worker) latency() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ewma
+}
+
+// WorkerStatus is one worker's health snapshot, for status displays.
+type WorkerStatus struct {
+	Addr       string  `json:"addr"`
+	Healthy    bool    `json:"healthy"`
+	Draining   bool    `json:"draining"`
+	Fails      int     `json:"fails"`
+	EWMAMillis float64 `json:"ewma_ms"`
+}
+
+func (w *worker) status(now time.Time) WorkerStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkerStatus{
+		Addr:       w.addr,
+		Healthy:    !w.draining && !now.Before(w.downUntil),
+		Draining:   w.draining,
+		Fails:      w.fails,
+		EWMAMillis: float64(w.ewma) / float64(time.Millisecond),
+	}
+}

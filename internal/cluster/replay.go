@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ibsim/internal/manifest"
+	"ibsim/internal/server"
+)
+
+// Replay scatters one replay bank across the worker pool: the engine list
+// is sharded into contiguous chunks (engines of a bank are simulated
+// independently, so per-engine results compose exactly), gathered, and
+// merged in request order. Exact results coalesce into the same
+// content-addressed cache as sweeps, keyed per engine spec, so a bank that
+// overlaps previously computed engines only scatters the new ones. Replay
+// runs are not checkpointed: banks are small next to sweep grids, and a
+// restarted coordinator simply recomputes the missing engines.
+func (c *Coordinator) Replay(ctx context.Context, req server.ReplayRequest) (*server.ReplayResponse, error) {
+	c.mRequests.Add(1)
+	start := time.Now()
+	if req.Workload == "" {
+		return nil, errors.New("cluster: replay: workload required")
+	}
+	if len(req.Engines) == 0 {
+		return nil, errors.New("cluster: replay: at least one engine required")
+	}
+	if req.Instructions <= 0 {
+		req.Instructions = defaultInstructions
+	}
+	base := replayBase{Workload: req.Workload, Seed: req.Seed, Instructions: req.Instructions}
+
+	if req.Sampling != nil {
+		return c.replayScatter(ctx, req, base, req.Engines, nil, start)
+	}
+
+	key := manifest.Key("replay", base)
+	unlock := c.lockKey(key)
+	defer unlock()
+
+	entry := c.cache.loadReplay(key, base)
+	need := missingEngines(entry, req.Engines)
+	if len(need) == 0 {
+		c.mCacheHit.Add(1)
+		resp := replayFromEntry(entry, req)
+		resp.ElapsedSeconds = time.Since(start).Seconds()
+		return resp, nil
+	}
+	c.mCacheMiss.Add(1)
+	return c.replayScatter(ctx, req, base, need, entry, start)
+}
+
+// missingEngines returns the distinct engine specs the entry does not
+// cover.
+func missingEngines(entry *replayEntry, engines []server.EngineSpec) []server.EngineSpec {
+	seen := map[string]bool{}
+	var need []server.EngineSpec
+	for _, spec := range engines {
+		k := specKey(spec)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if entry != nil {
+			if _, ok := entry.find(spec); ok {
+				continue
+			}
+		}
+		need = append(need, spec)
+	}
+	return need
+}
+
+// replayScatter shards need across the pool and merges the partial banks.
+func (c *Coordinator) replayScatter(ctx context.Context, req server.ReplayRequest, base replayBase,
+	need []server.EngineSpec, entry *replayEntry, start time.Time) (*server.ReplayResponse, error) {
+
+	sampled := req.Sampling != nil
+	live := c.liveWorkers(ctx)
+	k := len(live)
+	if k == 0 {
+		k = 1
+	}
+	if k > c.cfg.MaxShards {
+		k = c.cfg.MaxShards
+	}
+	shards := chunk(len(need), k)
+	ringKey := workloadKey(base.Workload, base.Seed, base.Instructions)
+
+	type shardOut struct {
+		resp  *server.ReplayResponse
+		local bool
+		err   error
+	}
+	outs := make([]shardOut, len(shards))
+	var wg sync.WaitGroup
+	for i, engIdx := range shards {
+		engines := make([]server.EngineSpec, len(engIdx))
+		for j, ei := range engIdx {
+			engines[j] = need[ei]
+		}
+		shardReq := req
+		shardReq.Engines = engines
+		wg.Add(1)
+		go func(i int, shardReq server.ReplayRequest) {
+			defer wg.Done()
+			resp, local, err := runShard(c, ctx, fmt.Sprintf("replay shard %d/%d", i+1, len(shards)),
+				c.rotation(ringKey, i),
+				func(ctx context.Context, cl Caller) (*server.ReplayResponse, error) {
+					return cl.Replay(ctx, shardReq)
+				},
+				func(resp *server.ReplayResponse) error { return verifyReplayShard(shardReq, resp) })
+			outs[i] = shardOut{resp, local, err}
+		}(i, shardReq)
+	}
+	wg.Wait()
+
+	anyLocal := false
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("replay shard %d/%d: %w", i+1, len(shards), o.err)
+		}
+		anyLocal = anyLocal || o.local
+	}
+
+	if sampled {
+		resp := &server.ReplayResponse{
+			Workload:     req.Workload,
+			Seed:         outs[0].resp.Seed,
+			Instructions: req.Instructions,
+			Degraded:     anyLocal,
+		}
+		if anyLocal {
+			resp.DegradedReason = localFallbackReason
+		}
+		for _, o := range outs {
+			resp.Results = append(resp.Results, o.resp.Results...)
+			if resp.Sampling == nil && o.resp.Sampling != nil {
+				info := *o.resp.Sampling
+				resp.Sampling = &info
+			}
+		}
+		resp.ElapsedSeconds = time.Since(start).Seconds()
+		return resp, nil
+	}
+
+	if entry == nil {
+		entry = &replayEntry{Base: base}
+	}
+	for si, engIdx := range shards {
+		for j, ei := range engIdx {
+			entry.add(need[ei], outs[si].resp.Results[j])
+		}
+	}
+	if !anyLocal {
+		c.cache.storeReplay(manifest.Key("replay", base), entry)
+	}
+	resp := replayFromEntry(entry, req)
+	if anyLocal {
+		resp.Degraded = true
+		resp.DegradedReason = localFallbackReason
+	}
+	resp.ElapsedSeconds = time.Since(start).Seconds()
+	return resp, nil
+}
+
+// verifyReplayShard vets one shard answer: full requested scale, matching
+// fidelity, and a result per engine.
+func verifyReplayShard(req server.ReplayRequest, resp *server.ReplayResponse) error {
+	switch {
+	case resp == nil:
+		return errors.New("nil response")
+	case resp.Workload != req.Workload:
+		return fmt.Errorf("answer for workload %q, want %q", resp.Workload, req.Workload)
+	case resp.Instructions != req.Instructions:
+		return fmt.Errorf("answer at clamped scale %d, want %d", resp.Instructions, req.Instructions)
+	case (resp.Sampling != nil) != (req.Sampling != nil):
+		return fmt.Errorf("sampling fidelity mismatch (got sampled=%v)", resp.Sampling != nil)
+	case req.Sampling == nil && resp.Degraded:
+		return fmt.Errorf("degraded partial (%s)", resp.DegradedReason)
+	case len(resp.Results) != len(req.Engines):
+		return fmt.Errorf("%d results in answer, want %d", len(resp.Results), len(req.Engines))
+	}
+	return nil
+}
+
+// replayFromEntry builds the response for req from a union entry that
+// covers it, results in request engine order.
+func replayFromEntry(entry *replayEntry, req server.ReplayRequest) *server.ReplayResponse {
+	resp := &server.ReplayResponse{
+		Workload:     entry.Base.Workload,
+		Seed:         entry.Base.Seed,
+		Instructions: entry.Base.Instructions,
+	}
+	for _, spec := range req.Engines {
+		r, ok := entry.find(spec)
+		if !ok {
+			panic(fmt.Sprintf("cluster: entry missing engine %s", specKey(spec)))
+		}
+		resp.Results = append(resp.Results, r)
+	}
+	return resp
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// The consistent-hash ring maps a workload identity — (profile, seed,
+// instructions) — to a stable preference order over the worker addresses.
+// Repeated requests for the same workload therefore always land on the same
+// workers in the same order, so each worker's memoized synth store stays hot
+// across sweeps; and because the ring hashes worker *addresses* (with
+// virtual nodes), adding or removing one worker remaps only the keys that
+// pointed at it, not the whole grid.
+
+// ringReplicas is the virtual-node count per worker: enough that a handful
+// of workers spread keys evenly, cheap enough to rebuild on every New.
+const ringReplicas = 64
+
+type ringPoint struct {
+	hash uint64
+	idx  int
+}
+
+type ring struct {
+	points []ringPoint // sorted by hash
+	n      int
+}
+
+// newRing builds the ring over the worker addresses; index i of addrs is
+// the worker index returned by order.
+func newRing(addrs []string) *ring {
+	r := &ring{n: len(addrs)}
+	for i, a := range addrs {
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", a, v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// order walks the ring clockwise from key and returns every worker index in
+// first-encounter order: element 0 is the key's home worker, the rest are
+// its failover sequence.
+func (r *ring) order(key uint64) []int {
+	if r.n == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}
+
+// hash64 is the ring's hash: the first 8 bytes of SHA-256, so placement is
+// stable across processes and Go versions (no dependence on map iteration
+// or hash/maphash seeds).
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// workloadKey hashes the trace identity the paper's experiments revolve
+// around: which workload, which seed, how many instructions. Every shard of
+// one request shares this key, so the shard preference orders are rotations
+// of one ring walk.
+func workloadKey(workload string, seed uint64, instructions int64) uint64 {
+	return hash64(fmt.Sprintf("%s\x00%d\x00%d", workload, seed, instructions))
+}

@@ -1,0 +1,105 @@
+package replay
+
+import (
+	"context"
+	"sync"
+
+	"ibsim/internal/fetch"
+	"ibsim/internal/trace"
+)
+
+// BlocksParallel is the block-parallel variant of Blocks: the bank's
+// simulated engines are partitioned across up to `workers` goroutines, and
+// each goroutine walks the columnar blocks independently with its own decode
+// buffer (BlockSource implementations guarantee concurrent BlockRuns with
+// distinct buffers). An engine's state is sequential across blocks — block b
+// must finish before b+1 starts for that engine — so the parallel axis is
+// the bank: different workers replay different engines over different blocks
+// at the same time, turning the serial decode-once/replay-all loop into
+// independent decode-and-replay pipelines.
+//
+// Results are identical to Blocks in bank order — same analytic dedup plan,
+// same per-engine replay order — pinned by the differential/blocks-parallel
+// check and this package's tests. Memory is O(workers × block).
+//
+// workers <= 1, a single-block trace, or a bank with one simulated engine
+// degenerates to the serial path.
+func BlocksParallel(ctx context.Context, bs trace.BlockSource, engines []fetch.Engine, workers int) ([]fetch.Result, error) {
+	repOf, derived := planBank(engines)
+	var simulated []int
+	for i := range engines {
+		if _, isDerived := repOf[i]; !isDerived {
+			simulated = append(simulated, i)
+		}
+	}
+	if workers > len(simulated) {
+		workers = len(simulated)
+	}
+	if workers <= 1 || bs.NumBlocks() <= 1 {
+		return Blocks(ctx, bs, engines)
+	}
+
+	// Strided partition: engine i goes to worker i%workers, so banks built
+	// as homogeneous sweeps (the common case) spread their heavy engines
+	// evenly instead of handing one worker a contiguous expensive stripe.
+	groups := make([][]int, workers)
+	for pos, idx := range simulated {
+		groups[pos%workers] = append(groups[pos%workers], idx)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, group := range groups {
+		wg.Add(1)
+		go func(group []int) {
+			defer wg.Done()
+			if err := replayGroup(ctx, bs, engines, group); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel() // stop sibling workers promptly
+			}
+		}(group)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	results := make([]fetch.Result, len(engines))
+	for _, i := range simulated {
+		results[i] = engines[i].Result()
+	}
+	fillDerived(results, engines, repOf, derived)
+	return results, nil
+}
+
+// replayGroup drains every block through one worker's engine subset with a
+// private decode buffer.
+func replayGroup(ctx context.Context, bs trace.BlockSource, engines []fetch.Engine, group []int) error {
+	var buf []trace.Run
+	nb := bs.NumBlocks()
+	for b := 0; b < nb; b++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var err error
+		buf, err = bs.BlockRuns(b, buf)
+		if err != nil {
+			return err
+		}
+		for _, i := range group {
+			if err := replayOne(ctx, buf, engines[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

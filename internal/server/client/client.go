@@ -29,17 +29,36 @@ type APIError struct {
 	Detail server.ErrorDetail
 }
 
+// ErrServerDraining reports a server that answered kind "draining": it is
+// shutting down and will refuse work until it is gone. Retrying against it
+// only burns the backoff schedule against a dying process, so the client
+// fails fast instead — errors.Is(err, ErrServerDraining) lets an
+// orchestrator (the cluster coordinator) move the work to a live worker
+// immediately.
+var ErrServerDraining = errors.New("ibsimd: server is draining")
+
 func (e *APIError) Error() string {
 	return fmt.Sprintf("ibsimd: %s (%d %s)", e.Detail.Message, e.Detail.Status, e.Detail.Kind)
 }
 
-// Temporary reports whether the failure is worth retrying.
+// Temporary reports whether the failure is worth retrying. A draining server
+// is a permanent failure from this client's perspective: it will never
+// accept the request, only a different server can.
 func (e *APIError) Temporary() bool {
+	if e.Detail.Kind == "draining" {
+		return false
+	}
 	switch e.Detail.Status {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		return true
 	}
 	return false
+}
+
+// Is makes errors.Is(err, ErrServerDraining) match a kind-"draining"
+// response without losing the structured detail.
+func (e *APIError) Is(target error) bool {
+	return target == ErrServerDraining && e.Detail.Kind == "draining"
 }
 
 // Client calls an ibsimd server with retries. The zero value is not
@@ -158,8 +177,14 @@ func (c *Client) Workloads(ctx context.Context) ([]string, error) {
 
 // Ready runs GET /readyz and reports whether the server accepts work.
 func (c *Client) Ready(ctx context.Context) bool {
-	err := c.call(ctx, http.MethodGet, "/readyz", nil, nil)
-	return err == nil
+	return c.ReadyCheck(ctx) == nil
+}
+
+// ReadyCheck runs GET /readyz and returns nil when the server accepts work,
+// ErrServerDraining (via errors.Is) when it reports itself draining, and the
+// transport or API error otherwise. Draining answers are not retried.
+func (c *Client) ReadyCheck(ctx context.Context) error {
+	return c.call(ctx, http.MethodGet, "/readyz", nil, nil)
 }
 
 // call performs one API call with the retry schedule.

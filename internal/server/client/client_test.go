@@ -189,3 +189,61 @@ func TestClientAgainstRealServer(t *testing.T) {
 		t.Fatalf("err = %v, want 404 APIError", err)
 	}
 }
+
+// A kind-"draining" answer must surface immediately as the typed
+// ErrServerDraining instead of burning the retry schedule against a dying
+// server.
+func TestClientSurfacesDrainingTyped(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeErr(w, server.ErrorDetail{Status: 503, Kind: "draining",
+			Message: "server is draining or not yet serving"})
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(4))
+	var delays []time.Duration
+	instant(c, &delays)
+
+	err := c.ReadyCheck(context.Background())
+	if !errors.Is(err, ErrServerDraining) {
+		t.Fatalf("ReadyCheck = %v, want ErrServerDraining via errors.Is", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Detail.Kind != "draining" {
+		t.Fatalf("structured detail lost: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("draining answer retried: %d calls, want 1", calls.Load())
+	}
+	if len(delays) != 0 {
+		t.Fatalf("draining answer slept %v, want no backoff", delays)
+	}
+
+	// A simulation request against a draining server fails fast and typed
+	// too — the same 503 body travels on every endpoint.
+	calls.Store(0)
+	_, err = c.Sweep(context.Background(), server.SweepRequest{Workload: "eqntott"})
+	if !errors.Is(err, ErrServerDraining) || calls.Load() != 1 {
+		t.Fatalf("Sweep against draining server = %v after %d calls, want typed fail-fast", err, calls.Load())
+	}
+
+	// Ordinary 503s (no "draining" kind) keep their transient semantics.
+	if errors.Is(&APIError{Detail: server.ErrorDetail{Status: 503, Kind: "queue-timeout"}}, ErrServerDraining) {
+		t.Fatal("non-draining 503 matched ErrServerDraining")
+	}
+}
+
+// The live server's /readyz flips to the typed draining error once Run
+// begins its drain.
+func TestClientReadyCheckAgainstDrainingServer(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := New(ts.URL)
+	// Before Run starts, ready is false and /readyz reports draining.
+	if err := c.ReadyCheck(context.Background()); !errors.Is(err, ErrServerDraining) {
+		t.Fatalf("ReadyCheck on non-serving server = %v, want ErrServerDraining", err)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"runtime"
 	"runtime/debug"
 	"sync/atomic"
 	"time"
@@ -998,8 +999,10 @@ func (s *Server) replayBank(ctx context.Context, prof synth.Profile, seed uint64
 }
 
 // columnarReplay is the replay path's columnar-disk rung: an exact
-// block-granular fan-out (each ~1 MB block decoded once and fed to every
-// engine while hot) over the store's on-disk columnar trace.
+// block-granular fan-out over the store's on-disk columnar trace,
+// parallelized across the bank (replay.BlocksParallel partitions the
+// simulated engines over the CPUs; results stay bit-identical to the serial
+// path, pinned by the differential/blocks-parallel check).
 func (s *Server) columnarReplay(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine) ([]fetch.Result, error) {
 	cf, release, err := s.store.Columnar(ctx, prof, seed, n)
 	if err != nil {
@@ -1007,7 +1010,7 @@ func (s *Server) columnarReplay(ctx context.Context, prof synth.Profile, seed ui
 	}
 	defer release()
 	s.mColumnar.Add(1)
-	return replay.Blocks(ctx, cf, engines)
+	return replay.BlocksParallel(ctx, cf, engines, runtime.GOMAXPROCS(0))
 }
 
 // streamedReplay is the replay path's last rung: one exact streaming
