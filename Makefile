@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check check-sampling bench-columnar chaos cluster cluster-smoke serve bench microbench vet cover tables extensions calibration examples clean
+.PHONY: all build test test-short race check check-sampling bench-columnar bench-seek chaos cluster cluster-smoke serve bench microbench vet cover tables extensions calibration examples clean
 
 all: build vet test race check
 
@@ -48,8 +48,20 @@ check-sampling:
 bench-columnar:
 	$(GO) run ./cmd/ibscheck -o "" -n 200000 columnar-replay
 
+# Checkpoint-seek verification: the seek-sampled differential (RunSeek /
+# SampledSeek bit-identical to the run-materialized sampled paths), the
+# parallel-spill byte-identity differential, and the seek-vs-stream speedup
+# gate — a skip-mode sampled sweep at 1/16 window coverage on an over-budget
+# store must beat full streaming regeneration by the pinned ratio. (Flags
+# must precede the stage name: the Go flag parser stops at the first
+# positional.)
+bench-seek:
+	$(GO) run ./cmd/ibscheck -o "" -n 200000 seek
+
 # Seeded fault-injection (chaos) suite under the race detector: trace-codec
-# corruption contracts, store budget fallback, worker panic isolation, the
+# corruption contracts, store budget fallback, checkpoint corruption
+# (bit-flipped generator snapshots caught by CRC, seek self-heals by
+# regeneration), worker panic isolation, the
 # ibstables interrupt/resume test, the service admission/degradation tests,
 # the in-process server chaos scenarios (slow-loris, cancellation,
 # over-budget degradation, handler panic), and the cluster coordinator
@@ -58,7 +70,7 @@ bench-columnar:
 chaos:
 	$(GO) test -race ./internal/fault ./internal/atomicio ./internal/manifest \
 		./internal/server ./internal/server/client ./internal/cluster ./cmd/ibsimd
-	$(GO) test -race -run 'Chaos|Robustness|Resilience|Worker|Salvage|Interrupt|Timeout|Stress' \
+	$(GO) test -race -run 'Chaos|Robustness|Resilience|Worker|Salvage|Interrupt|Timeout|Stress|Checkpoint|Seek' \
 		./internal/trace ./internal/check ./internal/experiments \
 		./internal/synth ./cmd/ibstables
 	$(GO) run -race ./cmd/ibscheck -faults -o ""

@@ -12,6 +12,7 @@
 //	ibscheck -faults               # chaos mode: seeded fault-injection suite
 //	ibscheck sampling-bounds       # only the sampling checks + bench
 //	ibscheck columnar-replay       # only the columnar checks + bench
+//	ibscheck seek                  # only the checkpoint-seek checks + bench
 //
 // The exit status is 0 only when every check passes and every tracked stage
 // is within golden tolerance.
@@ -46,6 +47,7 @@ func run(args []string) int {
 	noTables := fs.Bool("no-tables", false, "skip the Tables 5-8 + Figures 6/7 fanout-vs-per-config benchmark")
 	noSampling := fs.Bool("no-sampling", false, "skip the sampled-vs-exact sweep benchmark")
 	noColumnar := fs.Bool("no-columnar", false, "skip the columnar block-replay benchmark")
+	noSeek := fs.Bool("no-seek", false, "skip the checkpoint-seek streaming benchmark")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -89,8 +91,11 @@ func run(args []string) int {
 	if fs.Arg(0) == "columnar-replay" {
 		return runColumnarReplay(opt, *out, start)
 	}
+	if fs.Arg(0) == "seek" {
+		return runSeek(opt, *out, start)
+	}
 	if fs.NArg() > 0 {
-		fmt.Fprintf(os.Stderr, "ibscheck: unknown stage %q (did you mean sampling-bounds or columnar-replay?)\n", fs.Arg(0))
+		fmt.Fprintf(os.Stderr, "ibscheck: unknown stage %q (did you mean sampling-bounds, columnar-replay, or seek?)\n", fs.Arg(0))
 		return 2
 	}
 
@@ -199,6 +204,18 @@ func run(args []string) int {
 		stagesOK = stagesOK && col.Passed
 	}
 
+	var seek *check.SeekBench
+	if !*noSeek {
+		seek, err = check.RunSeekBench(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+			return 2
+		}
+		fmt.Printf("%-4s bench/%-36s %s (%.2fs)\n", verdict(seek.Passed), "checkpoint-seek", seek.Detail,
+			seek.StreamSeconds+seek.SeekSeconds)
+		stagesOK = stagesOK && seek.Passed
+	}
+
 	report := check.Report{
 		Schema:       "ibsim-bench/v1",
 		Instructions: *n,
@@ -210,6 +227,7 @@ func run(args []string) int {
 		Tables:       tables,
 		Sampling:     samp,
 		Columnar:     col,
+		Seek:         seek,
 		Passed:       check.AllPassed(results) && stagesOK,
 		TotalSeconds: time.Since(start).Seconds(),
 	}
@@ -263,6 +281,47 @@ func runColumnarReplay(opt check.Options, out string, start time.Time) int {
 		return 1
 	}
 	fmt.Printf("PASS (%d columnar checks, %.2fs)\n", len(results), report.TotalSeconds)
+	return 0
+}
+
+// runSeek is the `ibscheck seek` stage: only the checkpoint-seek
+// differential checks and the seek-vs-stream benchmark, for a fast CI gate
+// on the seekable-generator machinery (`make bench-seek`).
+func runSeek(opt check.Options, out string, start time.Time) int {
+	results, err := check.SeekChecks(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: harness failure: %v\n", err)
+		return 2
+	}
+	for _, r := range results {
+		fmt.Printf("%-4s %-42s %s (%.2fs)\n", verdict(r.Passed), r.Name, r.Detail, r.Seconds)
+	}
+	seek, err := check.RunSeekBench(opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+		return 2
+	}
+	fmt.Printf("%-4s bench/%-36s %s (%.2fs)\n", verdict(seek.Passed), "checkpoint-seek", seek.Detail,
+		seek.StreamSeconds+seek.SeekSeconds)
+	report := check.Report{
+		Schema:       "ibsim-bench/v1",
+		Instructions: opt.Instructions,
+		Seed:         opt.Seed,
+		GoldenScale:  opt.Instructions == check.PinnedInstructions && opt.Seed == 0,
+		Checks:       results,
+		Seek:         seek,
+		Passed:       check.AllPassed(results) && seek.Passed,
+		TotalSeconds: time.Since(start).Seconds(),
+	}
+	if err := writeReport(out, report); err != nil {
+		fmt.Fprintf(os.Stderr, "ibscheck: %v\n", err)
+		return 2
+	}
+	if !report.Passed {
+		fmt.Println("FAIL")
+		return 1
+	}
+	fmt.Printf("PASS (%d seek checks, %.2fs)\n", len(results), report.TotalSeconds)
 	return 0
 }
 

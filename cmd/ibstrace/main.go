@@ -13,6 +13,7 @@
 //	ibstrace -file gs.ibsc -convert gs.ibstrace  # columnar -> record
 //	ibstrace -workload verilog -n 2000000
 //	ibstrace -workload gs -compare eqntott       # side-by-side
+//	ibstrace -workload gs -seek 1234567          # checkpoint-seek spot-check
 package main
 
 import (
@@ -31,10 +32,18 @@ func main() {
 		compare  = flag.String("compare", "", "second workload to analyze side by side")
 		n        = flag.Int64("n", 2_000_000, "instructions when synthesizing")
 		line     = flag.Int("line", 32, "line granularity in bytes")
+		seek     = flag.Int64("seek", -1, "spot-check: compare the reference at this instruction index reached by checkpoint seek vs sequential generation (needs -workload)")
 	)
 	flag.Parse()
 
 	switch {
+	case *seek >= 0:
+		if *workload == "" {
+			fail(fmt.Errorf("-seek needs -workload (checkpoints are generator states, not trace data)"))
+		}
+		if err := seekCheck(*workload, *n, *seek); err != nil {
+			fail(err)
+		}
 	case *convert != "":
 		if *file == "" {
 			fail(fmt.Errorf("-convert needs -file as the source"))
@@ -171,6 +180,59 @@ func reportColumnar(path string) error {
 		runs = append(runs, buf...)
 	}
 	printRunStats(ibsim.SummarizeRuns(runs))
+	return nil
+}
+
+// seekCheck is the checkpoint-seek spot-check: it generates the workload's
+// instruction stream once with a checkpoint index attached, then SEEKS to
+// instruction i (restoring the nearest checkpoint and fast-forwarding) and
+// compares the reference it lands on against plain sequential generation.
+// Any divergence is a correctness bug in the snapshot/restore machinery and
+// exits non-zero.
+func seekCheck(name string, n, i int64) error {
+	if i >= n {
+		return fmt.Errorf("-seek %d is past the end of the %d-instruction trace (raise -n)", i, n)
+	}
+	w, err := ibsim.LoadWorkload(name)
+	if err != nil {
+		return err
+	}
+	// Sequential reference: generate and discard up to instruction i.
+	seq, err := ibsim.NewSeekableTrace(w, n, nil)
+	if err != nil {
+		return err
+	}
+	var want ibsim.Ref
+	for k := int64(0); k <= i; k++ {
+		want, _ = seq.Next()
+	}
+	// Seeked: warm an index with one full pass, then jump.
+	ix := ibsim.NewCheckpointIndex(0)
+	seeker, err := ibsim.NewSeekableTrace(w, n, ix)
+	if err != nil {
+		return err
+	}
+	for {
+		if _, ok := seeker.Next(); !ok {
+			break
+		}
+	}
+	if err := seeker.SeekTo(i); err != nil {
+		return err
+	}
+	got, ok := seeker.Next()
+	if !ok {
+		return fmt.Errorf("seeked source ended at instruction %d of %d", i, n)
+	}
+	st := ix.Stats()
+	fmt.Printf("== %s: seek spot-check at instruction %d of %d ==\n", w.Name, i, n)
+	fmt.Printf("sequential: addr %#x domain %d\n", want.Addr, want.Domain)
+	fmt.Printf("seeked:     addr %#x domain %d (index: %d checkpoints, %d bytes, every %d instructions)\n",
+		got.Addr, got.Domain, st.Count, st.Bytes, st.Every)
+	if got != want {
+		return fmt.Errorf("MISMATCH: seeked reference diverges from sequential generation")
+	}
+	fmt.Println("PASS: seeked reference matches sequential generation")
 	return nil
 }
 

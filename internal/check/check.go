@@ -105,6 +105,7 @@ func RunAll(opt Options) ([]Result, error) {
 		ColumnarReplay,
 		SamplingBounds,
 		SamplingProperties,
+		SeekChecks,
 	} {
 		rs, err := fn(opt)
 		if err != nil {

@@ -1,0 +1,46 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+// The checkpoint-seek differentials must hold at a sub-golden scale that
+// still spans many windows and spill chunks.
+func TestSeekChecksPass(t *testing.T) {
+	results, err := SeekChecks(Options{Instructions: 80_000})
+	if err != nil {
+		t.Fatalf("harness failure: %v", err)
+	}
+	want := []string{"differential/seek-sampled", "differential/parallel-spill"}
+	if len(results) != len(want) {
+		t.Fatalf("%d results, want %d", len(results), len(want))
+	}
+	for i, r := range results {
+		if r.Name != want[i] {
+			t.Errorf("result %d = %q, want %q", i, r.Name, want[i])
+		}
+		if !r.Passed {
+			t.Errorf("%s failed: %s", r.Name, r.Detail)
+		}
+	}
+	if !strings.Contains(results[0].Detail, "checkpoints") {
+		t.Errorf("seek-sampled detail does not report the checkpoint index: %s", results[0].Detail)
+	}
+	if !strings.Contains(results[1].Detail, "byte-identical") {
+		t.Errorf("parallel-spill detail does not state byte identity: %s", results[1].Detail)
+	}
+}
+
+// The chaos checkpoint-corruption scenario in isolation (it also runs
+// inside RunChaos).
+func TestChaosCheckpointCorrupt(t *testing.T) {
+	opt := Options{Instructions: 50_000}.withDefaults()
+	r := chaosCheckpointCorrupt(opt.Workloads[0], opt.Seed)
+	if !r.Passed {
+		t.Fatalf("%s: %s", r.Name, r.Detail)
+	}
+	if !strings.Contains(r.Detail, "CRC") {
+		t.Fatalf("detail does not describe CRC detection: %s", r.Detail)
+	}
+}

@@ -1,0 +1,93 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+
+	"ibsim/internal/fetch"
+	"ibsim/internal/trace"
+)
+
+// Seek-accelerated sampled replay. Skip-mode time sampling (Warm == false,
+// Window < Period) never feeds the engines an unmeasured instruction, so
+// with a seekable source the driver can jump from window start to window
+// start and generate ONLY the measured refs — O(sampled refs + windows ·
+// checkpoint interval) instead of O(n). Warm mode is excluded by
+// construction: functional warming exists precisely to walk the skipped
+// spans.
+//
+// Bit-identity with Sampled over the compacted trace: within each window
+// the refs are coalesced under exactly the trace.Compactor extension
+// condition, so the feedSpan call sequence every engine sees — and the one
+// Result-delta cluster per window — match sampledTime's measured segments
+// span for span.
+
+// SampledSeek replays the measured windows of a skip-mode time-sampling
+// plan through every engine in the bank, seeking directly between window
+// starts. Results are identical to Sampled over the same trace. Engines are
+// mutated; pass freshly built ones.
+func SampledSeek(ctx context.Context, src trace.Seeker, engines []fetch.Engine, plan SamplePlan) ([]SampledResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if !plan.timeMode() || plan.Window >= plan.Period {
+		return nil, fmt.Errorf("replay: SampledSeek requires time sampling with window < period")
+	}
+	if plan.Warm {
+		return nil, fmt.Errorf("replay: SampledSeek cannot functionally warm (warm mode must walk skipped spans; use Sampled)")
+	}
+	samplers := make([]*timeSampler, len(engines))
+	for i, e := range engines {
+		samplers[i] = newTimeSampler(e, plan)
+	}
+	total := src.Total()
+	var spans []trace.Run
+	for wstart := int64(0); wstart < total; wstart += plan.Period {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := src.SeekTo(wstart); err != nil {
+			return nil, err
+		}
+		wend := wstart + plan.Window
+		if wend > total {
+			wend = total
+		}
+		spans = spans[:0]
+		var cur trace.Run
+		var next uint64
+		for i := wstart; i < wend; i++ {
+			r, ok := src.Next()
+			if !ok {
+				return nil, fmt.Errorf("replay: seekable source ended at instruction %d of %d", i, total)
+			}
+			if cur.Len > 0 && r.Addr == next && r.Domain == cur.Domain && next != 0 {
+				cur.Len++
+				next += trace.InstrBytes
+				continue
+			}
+			if cur.Len > 0 {
+				spans = append(spans, cur)
+			}
+			cur = trace.Run{Start: r.Addr, Len: 1, Domain: r.Domain}
+			next = r.Addr + trace.InstrBytes
+		}
+		if cur.Len > 0 {
+			spans = append(spans, cur)
+		}
+		for _, s := range samplers {
+			s.prev = s.e.Result()
+			s.inWindow = true
+			for _, sp := range spans {
+				feedSpan(s.e, s.re, sp.Start, sp.Len)
+			}
+			s.closeWindow()
+		}
+	}
+	results := make([]SampledResult, len(samplers))
+	for i, s := range samplers {
+		s.pos = total
+		results[i] = s.finish()
+	}
+	return results, nil
+}

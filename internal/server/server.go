@@ -190,7 +190,7 @@ type Server struct {
 	vars                                    *expvar.Map
 	mRequests, mAdmitted, mRejected, mDedup expvar.Int
 	mQueueTimeouts, mDegraded, mPanics      expvar.Int
-	mCanceled, mSampled, mColumnar          expvar.Int
+	mCanceled, mSampled, mColumnar, mSeek   expvar.Int
 }
 
 // New builds a Server from cfg.
@@ -214,6 +214,7 @@ func New(cfg Config) *Server {
 	s.vars.Set("canceled_total", &s.mCanceled)
 	s.vars.Set("sampling_tier_total", &s.mSampled)
 	s.vars.Set("columnar_tier_total", &s.mColumnar)
+	s.vars.Set("seek_tier_total", &s.mSeek)
 	s.vars.Set("inflight_bytes", expvar.Func(func() any { return s.limiter.Used() }))
 	s.vars.Set("admission_queue", expvar.Func(func() any { return s.limiter.Queued() }))
 	s.vars.Set("ready", expvar.Func(func() any { return s.ready.Load() }))
@@ -703,6 +704,13 @@ func autoSweepSpec(cells []sweep.Cell, n int64) SamplingSpec {
 	return SamplingSpec{Window: w, Period: autoPeriodMul * w, Skip: true}
 }
 
+// seekable reports whether the spec is skip-mode time sampling with a real
+// gap between windows — the only shape the checkpoint-seek streaming tier
+// can serve, since it never generates the skipped spans at all.
+func (sp SamplingSpec) seekable() bool {
+	return sp.Set <= 1 && sp.Skip && sp.Window > 0 && sp.Window < sp.Period
+}
+
 // mode names the spec's sampling dimension for SamplingInfo.
 func (sp SamplingSpec) mode() string {
 	if sp.Set > 1 {
@@ -763,6 +771,19 @@ func (s *Server) sweepMatrix(ctx context.Context, p sweep.Pass, prof synth.Profi
 		if !errors.Is(err, synth.ErrOverBudget) {
 			return nil, nil, "", false, "", err
 		}
+		if spec.seekable() {
+			// Skip-mode time sampling never looks at the skipped spans, so a
+			// checkpointed seekable source can serve the EXACT sampling ask
+			// in O(1) memory by jumping between measured windows.
+			sm, err = s.seekSampledSweep(ctx, p, prof, seed, n, *spec)
+			if err == nil {
+				s.mSeek.Add(1)
+				return nil, sm, spec.mode(), false, "", nil
+			}
+			if !errors.Is(err, synth.ErrOverBudget) {
+				return nil, nil, "", false, "", err
+			}
+		}
 		m, err = s.streamedSweep(ctx, p, prof, seed, n)
 		return m, nil, "", true,
 			"sampling requested but even the columnar trace exceeds the store's hard budget; streamed an exact answer instead", err
@@ -808,6 +829,22 @@ func (s *Server) columnarSweep(ctx context.Context, p sweep.Pass, prof synth.Pro
 	defer release()
 	s.mColumnar.Add(1)
 	return p.RunBlocks(cf)
+}
+
+// seekSampledSweep is the seek-streaming rung for explicit skip-mode time
+// sampling: when neither the runs nor the columnar file fit the budget, the
+// pass runs over a checkpointed seekable source that jumps straight between
+// measured windows — the sampling ask is still honored exactly as
+// specified, generating only O(sampled refs) in O(1) memory.
+func (s *Server) seekSampledSweep(ctx context.Context, p sweep.Pass, prof synth.Profile, seed uint64, n int64, spec SamplingSpec) (*sweep.SampledMatrix, error) {
+	sp := sweep.SampledPass{LineSize: p.LineSize, Cells: p.Cells, CountDistinct: p.CountDistinct, Ctx: ctx,
+		Window: spec.Window, Period: spec.Period}
+	src, release, err := s.store.SeekSource(prof, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return sp.RunSeek(src)
 }
 
 // streamedSweep is the last rung: an exact pass over streaming regeneration
@@ -962,6 +999,18 @@ func (s *Server) replayBank(ctx context.Context, prof synth.Profile, seed uint64
 		if !errors.Is(err, synth.ErrOverBudget) {
 			return nil, nil, false, "", err
 		}
+		if spec.seekable() {
+			// Over-budget failures happen before any engine is fed, so the
+			// bank is still fresh for the seek-streaming rung.
+			sampled, err = s.seekSampledReplay(ctx, prof, seed, n, engines, *spec)
+			if err == nil {
+				s.mSeek.Add(1)
+				return nil, sampled, false, "", nil
+			}
+			if !errors.Is(err, synth.ErrOverBudget) {
+				return nil, nil, false, "", err
+			}
+		}
 		results, err = s.streamedReplay(ctx, prof, seed, n, engines)
 		return results, nil, true,
 			"sampling requested but even the columnar trace exceeds the store's hard budget; replayed exactly from streaming regeneration", err
@@ -996,6 +1045,19 @@ func (s *Server) replayBank(ctx context.Context, prof synth.Profile, seed uint64
 	}
 	results, err = s.streamedReplay(ctx, prof, seed, n, engines)
 	return results, nil, true, "trace exceeds the store's hard budget; replayed from streaming regeneration", err
+}
+
+// seekSampledReplay is the replay path's seek-streaming rung for explicit
+// skip-mode time sampling: a checkpointed seekable source feeds the bank
+// only the measured windows, honoring the sampling ask exactly in O(1)
+// memory when neither runs nor the columnar file fit the budget.
+func (s *Server) seekSampledReplay(ctx context.Context, prof synth.Profile, seed uint64, n int64, engines []fetch.Engine, spec SamplingSpec) ([]replay.SampledResult, error) {
+	src, release, err := s.store.SeekSource(prof, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return replay.SampledSeek(ctx, src, engines, replay.SamplePlan{Window: spec.Window, Period: spec.Period})
 }
 
 // columnarReplay is the replay path's columnar-disk rung: an exact

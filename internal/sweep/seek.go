@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"fmt"
+
+	"ibsim/internal/trace"
+)
+
+// Streaming and seek-accelerated sampled sweeps.
+//
+// RunSource is the streaming twin of SampledPass.Run: it consumes a
+// per-reference source, compacting on the fly, so a trace too large to
+// materialize even as runs can still be sampled — at the cost of generating
+// every instruction, measured or not.
+//
+// RunSeek removes that cost for skip-mode time sampling: the measured
+// windows are a fixed schedule known up front, so with a seekable source
+// (synth.SeekSource over a checkpointed generator) the pass jumps straight
+// from window start to window start and generates ONLY the measured
+// instructions. Work becomes O(sampled refs + windows · checkpoint
+// interval) instead of O(n). Both produce matrices bit-identical to
+// Run over the equivalent run-compacted trace: the line-granular touch
+// machinery is segmentation-invariant, so how the measured instruction
+// sequence is cut into sequential spans cannot change any counter.
+
+// RunSource executes the sampled pass over a streaming per-reference
+// source, run-compacting on the fly. Results are bit-identical to
+// Run(trace.Compact(refs)); data references are ignored as always. The
+// full-trace length is whatever the source yields.
+func (p SampledPass) RunSource(src trace.Source) (*SampledMatrix, error) {
+	st, timeSample, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
+	var cur trace.Run
+	var next uint64
+	var pos int64
+	buf := make([]trace.Run, 0, 512)
+	flush := func() error {
+		pos, err = p.feed(st, buf, pos, timeSample)
+		buf = buf[:0]
+		return err
+	}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if r.Kind != trace.IFetch {
+			continue
+		}
+		if cur.Len > 0 && r.Addr == next && r.Domain == cur.Domain && next != 0 {
+			cur.Len++
+			next += trace.InstrBytes
+			continue
+		}
+		if cur.Len > 0 {
+			buf = append(buf, cur)
+			if len(buf) == cap(buf) {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		cur = trace.Run{Start: r.Addr, Len: 1, Domain: r.Domain}
+		next = r.Addr + trace.InstrBytes
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	if cur.Len > 0 {
+		buf = append(buf, cur)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	st.closeWindow()
+	return p.assemble(st, pos), nil
+}
+
+// RunSeek executes a skip-mode time-sampled pass over a seekable source,
+// visiting only the measured windows. It requires time sampling with
+// Warm == false: warm mode must walk the skipped spans (that is its entire
+// point), and set-only sampling measures every instruction — in both cases
+// seeking cannot skip anything. Set sampling composed WITH skip-mode time
+// sampling is fine. Results are bit-identical to Run over the same trace.
+func (p SampledPass) RunSeek(src trace.Seeker) (*SampledMatrix, error) {
+	st, timeSample, err := p.prepare()
+	if err != nil {
+		return nil, err
+	}
+	if !timeSample {
+		return nil, fmt.Errorf("sweep: RunSeek requires time sampling with window < period")
+	}
+	if p.Warm {
+		return nil, fmt.Errorf("sweep: RunSeek cannot functionally warm (warm mode must walk skipped spans; use Run or RunSource)")
+	}
+	total := src.Total()
+	for wstart := int64(0); wstart < total; wstart += p.Period {
+		if p.Ctx != nil {
+			if err := p.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := src.SeekTo(wstart); err != nil {
+			return nil, err
+		}
+		if win := wstart / p.Period; win != st.curWin {
+			st.closeWindow()
+			st.curWin = win
+		}
+		wend := wstart + p.Window
+		if wend > total {
+			wend = total
+		}
+		// Coalesce the window's refs into maximal sequential spans; the
+		// touch machinery makes any span segmentation equivalent.
+		var cur trace.Run
+		var next uint64
+		for i := wstart; i < wend; i++ {
+			r, ok := src.Next()
+			if !ok {
+				return nil, fmt.Errorf("sweep: seekable source ended at instruction %d of %d", i, total)
+			}
+			if cur.Len > 0 && r.Addr == next && r.Domain == cur.Domain && next != 0 {
+				cur.Len++
+				next += trace.InstrBytes
+				continue
+			}
+			if cur.Len > 0 {
+				st.span(cur.Start, cur.Len, true)
+			}
+			cur = trace.Run{Start: r.Addr, Len: 1, Domain: r.Domain}
+			next = r.Addr + trace.InstrBytes
+		}
+		if cur.Len > 0 {
+			st.span(cur.Start, cur.Len, true)
+		}
+	}
+	st.closeWindow()
+	return p.assemble(st, total), nil
+}

@@ -115,11 +115,16 @@ func (w *countWriter) Write(p []byte) (int, error) {
 // fly (same semantics as trace.Compact — the columnar blocks decode to
 // exactly the runs RunsOnly would return), and writes it block by block to
 // a fresh file in the spill directory, which it then opens for reading.
+// Generation goes through a store-attached seekable generator: the pass
+// registers checkpoints, resumes from any memoized runs-only prefix, and —
+// when SetSpillWorkers enabled it — fans chunks out across goroutines
+// (spill.go). Every path produces byte-identical files.
 func (s *Store) writeColumnar(prof Profile, seed uint64, n int64) (*trace.ColumnarFile, string, int64, error) {
-	src, err := InstrSource(prof, seed, n)
+	g, done, err := s.seekGen(prof, seed)
 	if err != nil {
 		return nil, "", 0, err
 	}
+	defer done()
 	dir, err := s.spillDir()
 	if err != nil {
 		return nil, "", 0, err
@@ -141,46 +146,15 @@ func (s *Store) writeColumnar(prof Profile, seed uint64, n int64) (*trace.Column
 	if err != nil {
 		return fail(err)
 	}
-	// Incremental compaction: only the open run is held, completed runs go
-	// straight into the current block. The extension condition mirrors
-	// trace.Compactor.Add exactly.
-	var cur trace.Run
-	var next uint64
-	var i int64
-	put := func() error {
-		if cur.Len == 0 {
-			return nil
-		}
-		return w.PutRun(cur)
+	s.mu.Lock()
+	workers := s.spillWorkers
+	s.mu.Unlock()
+	if workers > 1 && n >= 2*spillChunk(g) {
+		err = s.spillParallel(g, n, workers, w, cw)
+	} else {
+		err = s.spillSequential(g, prof, seed, n, w, cw)
 	}
-	for {
-		r, ok := src.Next()
-		if !ok {
-			break
-		}
-		if r.Kind != trace.IFetch {
-			continue
-		}
-		if cur.Len > 0 && r.Addr == next && r.Domain == cur.Domain && next != 0 {
-			cur.Len++
-			next += trace.InstrBytes
-		} else {
-			if err := put(); err != nil {
-				return fail(err)
-			}
-			cur = trace.Run{Start: r.Addr, Len: 1, Domain: r.Domain}
-			next = r.Addr + trace.InstrBytes
-		}
-		if i&budgetCheckMask == 0 && s.hardBudget > 0 && cw.n > s.hardBudget {
-			return fail(fmt.Errorf("%w: columnar encoding of %d instructions already exceeds %d bytes on disk",
-				ErrOverBudget, n, s.hardBudget))
-		}
-		i++
-	}
-	if err := src.Err(); err != nil {
-		return fail(err)
-	}
-	if err := put(); err != nil {
+	if err != nil {
 		return fail(err)
 	}
 	if err := w.Close(); err != nil {

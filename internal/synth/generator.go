@@ -109,6 +109,12 @@ type Generator struct {
 	npend   int
 	instrs  int64 // total instructions emitted
 	walk    WalkStats
+
+	// Checkpoint recording (see checkpoint.go). ckNext is the next
+	// instruction boundary to snapshot at; when ck is nil the hook in Next
+	// costs a single predictable branch.
+	ck     *CheckpointIndex
+	ckNext int64
 }
 
 // NewGenerator validates prof and returns a generator seeded with seed
@@ -174,6 +180,7 @@ func (g *Generator) build() {
 	g.npend = 0
 	g.instrs = 0
 	g.walk = WalkStats{}
+	g.syncCkNext()
 }
 
 // layout places the domain's procedures: geometric sizes around the mean,
@@ -284,6 +291,11 @@ func (g *Generator) Next() (trace.Ref, bool) {
 	if g.npend > 0 {
 		g.npend--
 		return g.pending[g.npend], true
+	}
+	// Every instruction boundary passes this point exactly once, so
+	// recording here lands checkpoints on exact interval multiples.
+	if g.ck != nil && g.instrs >= g.ckNext {
+		g.recordCheckpoint()
 	}
 	ds := g.domains[g.cur]
 

@@ -40,6 +40,10 @@ type storeKey struct {
 	// columnar marks entries holding an on-disk columnar trace file
 	// (Columnar's key space — see columnar.go).
 	columnar bool
+	// ckpt marks entries holding a checkpoint index for (prof, seed) — the
+	// seekable-generation tier's key space (see seek.go). n is always 0: one
+	// index serves every trace length of the pair.
+	ckpt bool
 }
 
 // storeEntry is one memoized trace with its reference count.
@@ -62,6 +66,11 @@ type storeEntry struct {
 	path      string
 	fileBytes int64
 
+	// ckix is the checkpoint index of a ckpt entry (see seek.go). Its bytes
+	// only change while some holder's generator appends to it, i.e. while
+	// refcount > 0, so the idle accounting at the 0-transition stays exact.
+	ckix *CheckpointIndex
+
 	refcount int
 	lastUse  int64 // store tick of the most recent acquire/release
 }
@@ -71,7 +80,11 @@ type storeEntry struct {
 // size for columnar entries. Callers must hold the store mutex (runs is
 // written under it).
 func entryBytes(e *storeEntry) int64 {
-	return int64(len(e.refs))*refBytes + int64(len(e.runs))*runBytes + e.fileBytes
+	b := int64(len(e.refs))*refBytes + int64(len(e.runs))*runBytes + e.fileBytes
+	if e.ckix != nil {
+		b += e.ckix.Bytes()
+	}
+	return b
 }
 
 // dropEntry releases an entry's out-of-heap resources: columnar entries
@@ -100,7 +113,13 @@ type Stats struct {
 	Spills     int64
 	SpillBytes int64
 	IdleBytes  int64
-	Entries    int
+	// Entries counts memoized trace entries (refs, runs, columnar).
+	// Checkpoint indexes — metadata about traces, not traces — are reported
+	// separately as CheckpointEntries/CheckpointBytes/Checkpoints.
+	Entries           int
+	CheckpointEntries int
+	CheckpointBytes   int64
+	Checkpoints       int64 // total restore points across all indexes
 }
 
 // Store memoizes materialized instruction traces keyed by
@@ -121,6 +140,12 @@ type Store struct {
 	tick       int64
 	stats      Stats
 	dir        string // lazily created spill directory for columnar files
+
+	// ckEvery is the recording interval for new checkpoint indexes
+	// (0 = DefaultCheckpointEvery); spillWorkers > 1 enables the parallel
+	// columnar spill path (see seek.go, spill.go).
+	ckEvery      int64
+	spillWorkers int
 }
 
 // NewStore returns an empty store keeping at most idleBudget bytes of
@@ -222,7 +247,7 @@ func (s *Store) InstrCtx(ctx context.Context, prof Profile, seed uint64, n int64
 	s.entries[key] = e
 	s.mu.Unlock()
 
-	e.refs, e.err = InstrTrace(prof, seed, n)
+	e.refs, e.err = s.instrTrace(prof, seed, n)
 	close(e.ready)
 	if e.err != nil {
 		s.release(key, e)
@@ -323,29 +348,47 @@ func (s *Store) RunsOnly(ctx context.Context, prof Profile, seed uint64, n int64
 // compaction against the hard budget (every 4K instructions).
 const budgetCheckMask = 1<<12 - 1
 
-// compactStream generates prof's instruction stream and compacts it on the
-// fly, enforcing the store's hard budget against the runs actually retained.
-func (s *Store) compactStream(prof Profile, seed uint64, n int64) ([]trace.Run, error) {
-	src, err := InstrSource(prof, seed, n)
+// instrTrace is InstrTrace through a store-attached generator: the pass
+// registers checkpoints in the shared index as it materializes, so the
+// bytes spent generating also buy O(interval) seeks for every later pass.
+func (s *Store) instrTrace(prof Profile, seed uint64, n int64) ([]trace.Ref, error) {
+	g, done, err := s.seekGen(prof, seed)
 	if err != nil {
 		return nil, err
 	}
+	defer done()
+	out := make([]trace.Ref, n)
+	for i := range out {
+		out[i], _ = g.Next()
+	}
+	return out, nil
+}
+
+// compactStream generates prof's instruction stream and compacts it on the
+// fly, enforcing the store's hard budget against the runs actually retained.
+// It registers checkpoints in the store's shared index as it streams, and
+// resumes from the longest memoized runs-only prefix of the same workload
+// (seeking the generator past it) instead of recompacting from zero.
+func (s *Store) compactStream(prof Profile, seed uint64, n int64) ([]trace.Run, error) {
+	g, done, err := s.seekGen(prof, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
 	var c trace.Compactor
-	var i int64
-	for {
-		r, ok := src.Next()
-		if !ok {
-			break
+	if prefix, start := s.runsPrefix(prof, seed, n); start > 0 {
+		c.Resume(prefix)
+		if err := g.SeekTo(start); err != nil {
+			return nil, err
 		}
+	}
+	for g.Instructions() < n {
+		r, _ := g.Next()
 		c.Add(r)
-		if i&budgetCheckMask == 0 && s.hardBudget > 0 && int64(c.Len())*runBytes > s.hardBudget {
+		if g.Instructions()&budgetCheckMask == 0 && s.hardBudget > 0 && int64(c.Len())*runBytes > s.hardBudget {
 			return nil, fmt.Errorf("%w: run compaction of %d instructions already needs over %d bytes",
 				ErrOverBudget, n, s.hardBudget)
 		}
-		i++
-	}
-	if err := src.Err(); err != nil {
-		return nil, err
 	}
 	runs := c.Finish()
 	if s.hardBudget > 0 && int64(len(runs))*runBytes > s.hardBudget {
@@ -368,14 +411,14 @@ func (s *Store) Source(prof Profile, seed uint64, n int64) (trace.Source, func()
 	if !errors.Is(err, ErrOverBudget) {
 		return nil, nil, err
 	}
-	src, err := InstrSource(prof, seed, n)
+	ss, done, err := s.SeekSource(prof, seed, n)
 	if err != nil {
 		return nil, nil, err
 	}
 	s.mu.Lock()
 	s.stats.Fallbacks++
 	s.mu.Unlock()
-	return src, func() {}, nil
+	return ss, done, nil
 }
 
 // releaseOnce wraps release so double-calling a handle's release is a no-op.
@@ -415,7 +458,9 @@ func (s *Store) evictLocked() {
 		var victimKey storeKey
 		var victim *storeEntry
 		for k, e := range s.entries {
-			if e.refcount != 0 {
+			if e.refcount != 0 || entryBytes(e) == 0 {
+				// Zero-byte entries (e.g. still-empty checkpoint indexes)
+				// free nothing; evicting them would only spin the loop.
 				continue
 			}
 			if victim == nil || e.lastUse < victim.lastUse {
@@ -461,9 +506,18 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.IdleBytes = s.idleBytes
-	st.Entries = len(s.entries)
-	for _, e := range s.entries {
+	for k, e := range s.entries {
 		st.SpillBytes += e.fileBytes
+		if k.ckpt {
+			st.CheckpointEntries++
+			if e.ckix != nil {
+				cst := e.ckix.Stats()
+				st.CheckpointBytes += cst.Bytes
+				st.Checkpoints += int64(cst.Count)
+			}
+			continue
+		}
+		st.Entries++
 	}
 	return st
 }

@@ -1,6 +1,8 @@
 package synth
 
 import (
+	"sync"
+
 	"ibsim/internal/xrand"
 )
 
@@ -15,11 +17,35 @@ type zipf struct {
 	cum []float64 // cum[r] = P(rank <= r); cum[n-1] == 1
 }
 
-// newZipf builds a sampler over n ranks with exponent s > 0.
+// zipfCache memoizes inverse-CDF tables by (n, s). The table is a pure
+// function of its parameters and immutable after construction (draw only
+// reads it), so one copy can back every generator. Building a table costs
+// ~25 Newton iterations per rank — without the cache it dominates generator
+// construction, which the store performs per seek-source acquisition and
+// per parallel-spill worker.
+var zipfCache sync.Map // zipfKey -> *zipf
+
+type zipfKey struct {
+	n int
+	s float64
+}
+
+// newZipf returns the (shared) sampler over n ranks with exponent s > 0.
 func newZipf(n int, s float64) *zipf {
 	if n < 1 {
 		n = 1
 	}
+	key := zipfKey{n: n, s: s}
+	if z, ok := zipfCache.Load(key); ok {
+		return z.(*zipf)
+	}
+	z := buildZipf(n, s)
+	zipfCache.Store(key, z)
+	return z
+}
+
+// buildZipf constructs the inverse-CDF table.
+func buildZipf(n int, s float64) *zipf {
 	cum := make([]float64, n)
 	total := 0.0
 	for r := 0; r < n; r++ {

@@ -350,12 +350,17 @@ type ColumnarFile struct {
 	closer  io.Closer
 	unmap   func() error
 	size    int64
+	path    string // backing file, when opened from one
 	metas   []BlockMeta
 	cum     []int64 // cum[i] = instructions before block i; len = blocks+1
 	refs    int64
 	runs    int64
 	blkSize int
 }
+
+// Path returns the backing file's path, or "" for in-memory / ReaderAt
+// traces. The differential checks use it to compare files byte for byte.
+func (f *ColumnarFile) Path() string { return f.path }
 
 // OpenColumnar opens a columnar trace file, mmapping it read-only when the
 // platform supports it and falling back to sequential reads otherwise. The
@@ -380,6 +385,7 @@ func OpenColumnar(path string) (*ColumnarFile, error) {
 		}
 		cf.unmap = unmap
 		cf.closer = f
+		cf.path = path
 		return cf, nil
 	}
 	cf, err := parseColumnar(nil, f, st.Size())
@@ -388,6 +394,7 @@ func OpenColumnar(path string) (*ColumnarFile, error) {
 		return nil, err
 	}
 	cf.closer = f
+	cf.path = path
 	return cf, nil
 }
 

@@ -103,6 +103,27 @@ func (c *Compactor) Add(r Ref) {
 	c.next = r.Addr + InstrBytes // wraps to < InstrBytes at the address-space top, breaking the run
 }
 
+// Resume primes a fresh Compactor with an already-compacted prefix, taking
+// ownership of the slice: subsequent Adds continue exactly where the prefix's
+// stream left off, with the prefix's final run kept open so a sequential
+// stretch spanning the boundary still merges — Finish over the whole thing
+// equals Compact over the concatenated stream. This is how the synth store
+// resumes run compaction from a memoized shorter trace instead of
+// regenerating it. It panics if the Compactor has already consumed
+// references.
+func (c *Compactor) Resume(prefix []Run) {
+	if c.cur.Len > 0 || len(c.runs) > 0 {
+		panic("trace: Compactor.Resume on a non-empty Compactor")
+	}
+	if len(prefix) == 0 {
+		return
+	}
+	last := prefix[len(prefix)-1]
+	c.runs = prefix[:len(prefix)-1]
+	c.cur = last
+	c.next = last.End() // 0 at the address-space top, matching Add's no-extend flag
+}
+
 // Len returns the number of runs the compactor currently retains, including
 // the still-open one — an upper bound that only grows by one per Add, so
 // incremental memory-budget checks can poll it cheaply.

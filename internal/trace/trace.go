@@ -93,6 +93,20 @@ type Source interface {
 	Err() error
 }
 
+// Seeker is a Source over a fixed-length instruction stream whose position
+// can be moved directly. SeekTo(i) positions the stream so the next
+// reference returned is instruction fetch number i (0-based), exactly as if
+// the preceding i instructions had been read and discarded; implementations
+// back it with checkpointed generators (synth.SeekSource) so a seek costs
+// O(checkpoint interval) instead of O(i). Pos reports the next instruction
+// index; Total the stream length.
+type Seeker interface {
+	Source
+	SeekTo(i int64) error
+	Pos() int64
+	Total() int64
+}
+
 // Sink consumes a stream of references.
 type Sink interface {
 	// Put consumes one reference.
