@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race check check-sampling bench-columnar bench-seek chaos cluster cluster-smoke serve bench microbench vet cover tables extensions calibration examples clean
+.PHONY: all build test test-short race check check-sampling bench-columnar bench-seek chaos crash cluster cluster-smoke serve bench microbench vet cover tables extensions calibration examples clean
 
 all: build vet test race check
 
@@ -74,6 +74,20 @@ chaos:
 		./internal/trace ./internal/check ./internal/experiments \
 		./internal/synth ./cmd/ibstables
 	$(GO) run -race ./cmd/ibscheck -faults -o ""
+
+# Crash-consistency torture under the race detector: power-fail every
+# persistence op (atomic artifact writes, columnar spill publication,
+# cluster shard checkpoints, the result cache, the exhibit manifest) in
+# three durability variants (lost / torn / flushed), verify every recovery,
+# plus the corruption property tests seeded from crashfs images and the
+# goroutine-leak brackets around server drain and coordinator shutdown.
+# The negative control (TestCrashTortureCatchesUnsafeWriter) proves the
+# harness itself catches unsafe writers.
+crash:
+	$(GO) test -race -run 'Crash|Leak' ./internal/crashfs ./internal/atomicio \
+		./internal/manifest ./internal/cluster ./internal/synth \
+		./internal/check ./internal/server
+	$(GO) run -race ./cmd/ibscheck -faults -match '^chaos/crash-' -o ""
 
 # Cluster scale-out demo: spawn 3 local ibsimd workers, run the same sweep
 # through 1 worker and through the pool, verify the merged miss matrix is

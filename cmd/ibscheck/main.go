@@ -10,6 +10,7 @@
 //	ibscheck -o perf/BENCH.json    # report path (default BENCH_ibsim.json)
 //	ibscheck -print-golden         # emit the golden.go literal for this run
 //	ibscheck -faults               # chaos mode: seeded fault-injection suite
+//	ibscheck -faults -match '^chaos/crash-'   # only the crash-consistency scenarios
 //	ibscheck sampling-bounds       # only the sampling checks + bench
 //	ibscheck columnar-replay       # only the columnar checks + bench
 //	ibscheck seek                  # only the checkpoint-seek checks + bench
@@ -43,6 +44,7 @@ func run(args []string) int {
 	printGolden := fs.Bool("print-golden", false, "print the golden.go literal for this run's stage values and exit")
 	benchOnly := fs.Bool("bench-only", false, "skip invariant/differential checks, run only the bench stages")
 	faults := fs.Bool("faults", false, "run only the seeded fault-injection (chaos) suite")
+	match := fs.String("match", "", "regexp filtering chaos scenario names (with -faults)")
 	noFigures := fs.Bool("no-figures", false, "skip the Figure 3+4 sweep-vs-per-config benchmark")
 	noTables := fs.Bool("no-tables", false, "skip the Tables 5-8 + Figures 6/7 fanout-vs-per-config benchmark")
 	noSampling := fs.Bool("no-sampling", false, "skip the sampled-vs-exact sweep benchmark")
@@ -82,7 +84,7 @@ func run(args []string) int {
 		}()
 	}
 
-	opt := check.Options{Instructions: *n, Seed: *seed}
+	opt := check.Options{Instructions: *n, Seed: *seed, ChaosFilter: *match}
 	start := time.Now()
 
 	if fs.Arg(0) == "sampling-bounds" {

@@ -1,0 +1,119 @@
+package atomicio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ibsim/internal/crashfs"
+)
+
+func TestIsTemp(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{".artifact.json.tmp-123456", true},
+		{".trace.ibsc.tmp-42", true},
+		{"artifact.json", false},
+		{"trace-1.ibsc", false},
+		{".hidden", false},
+		{"a.tmp-1", false}, // no leading dot: not ours
+		{"MANIFEST.json", false},
+	}
+	for _, c := range cases {
+		if got := IsTemp(c.name); got != c.want {
+			t.Errorf("IsTemp(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSweepTempsCrashDebris is the satellite contract: a temp file a crashed
+// writer left behind is removed by the sweep, never shadows or corrupts the
+// later write of the artifact it was staging, and published files are
+// untouched.
+func TestSweepTempsCrashDebris(t *testing.T) {
+	dir := t.TempDir()
+	published := filepath.Join(dir, "artifact.json")
+	if err := WriteFile(published, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Produce REAL crash debris: power-fail an atomic replace right after
+	// its fsync, materialize the Lost image (rename rolled back, synced temp
+	// surviving as debris) and sweep that.
+	sim := crashfs.NewSim(dir, 3) // create, write, sync, CLOSE ← crash
+	err := WriteFileFS(sim, published, []byte("v2-never-lands"), 0o644)
+	if !errors.Is(err, crashfs.ErrCrashed) {
+		t.Fatalf("crashed write: err = %v, want ErrCrashed", err)
+	}
+	img := t.TempDir()
+	if err := sim.Materialize(img, crashfs.Flushed); err != nil {
+		t.Fatal(err)
+	}
+
+	var debris []string
+	entries, err := os.ReadDir(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if IsTemp(e.Name()) {
+			debris = append(debris, e.Name())
+		}
+	}
+	if len(debris) == 0 {
+		t.Fatal("crashed write left no temp debris; the fixture is broken")
+	}
+
+	n, err := SweepTemps(img)
+	if err != nil {
+		t.Fatalf("SweepTemps: %v", err)
+	}
+	if n != len(debris) {
+		t.Fatalf("swept %d files, want %d (%v)", n, len(debris), debris)
+	}
+	// The published artifact from before the crash is untouched...
+	got, err := os.ReadFile(filepath.Join(img, "artifact.json"))
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("published artifact after sweep = %q, %v; want v1 intact", got, err)
+	}
+	// ...and a post-recovery write lands cleanly with no debris left to
+	// shadow or be confused for it.
+	if err := WriteFile(filepath.Join(img, "artifact.json"), []byte("v3"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(filepath.Join(img, "artifact.json"))
+	if string(got) != "v3" {
+		t.Fatalf("post-recovery write = %q, want v3", got)
+	}
+	entries, _ = os.ReadDir(img)
+	for _, e := range entries {
+		if IsTemp(e.Name()) {
+			t.Errorf("temp debris after recovery write: %s", e.Name())
+		}
+	}
+}
+
+func TestSweepTempsMissingDir(t *testing.T) {
+	n, err := SweepTemps(filepath.Join(t.TempDir(), "no-such-dir"))
+	if n != 0 || err != nil {
+		t.Fatalf("SweepTemps(missing) = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestSweepTempsSkipsDirs(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, ".sub.tmp-1")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	n, err := SweepTemps(dir)
+	if err != nil || n != 0 {
+		t.Fatalf("SweepTemps = %d, %v; want 0 removed, directories skipped", n, err)
+	}
+	if _, err := os.Stat(sub); err != nil {
+		t.Fatalf("directory was swept: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"regexp"
 
 	"ibsim/internal/experiments"
 	"ibsim/internal/fault"
@@ -56,10 +57,28 @@ func RunChaos(opt Options) ([]Result, error) {
 		{"chaos/cluster-corrupt-partial", func() Result { return chaosClusterCorruptPartial(prof, opt.Seed) }},
 		{"chaos/cluster-cache-poison", func() Result { return chaosClusterCachePoison(prof, opt.Seed) }},
 		{"chaos/cluster-all-workers-lost", func() Result { return chaosClusterAllWorkersLost(prof, opt.Seed) }},
+		{"chaos/crash-atomicio", chaosCrashAtomicio},
+		{"chaos/crash-manifest", chaosCrashManifest},
+		{"chaos/crash-spill", func() Result { return chaosCrashSpill(prof, opt.Seed) }},
+		{"chaos/crash-cluster-checkpoint", chaosCrashClusterCheckpoint},
+		{"chaos/crash-cluster-cache", chaosCrashClusterCache},
+	}
+	var filter *regexp.Regexp
+	if opt.ChaosFilter != "" {
+		var err error
+		if filter, err = regexp.Compile(opt.ChaosFilter); err != nil {
+			return nil, fmt.Errorf("chaos: bad scenario filter %q: %w", opt.ChaosFilter, err)
+		}
 	}
 	out := make([]Result, 0, len(scenarios))
 	for _, s := range scenarios {
+		if filter != nil && !filter.MatchString(s.name) {
+			continue
+		}
 		out = append(out, runIsolated(s.name, s.fn))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chaos: no scenario matches %q", opt.ChaosFilter)
 	}
 	return out, nil
 }

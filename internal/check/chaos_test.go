@@ -26,6 +26,9 @@ func TestRunChaosAllPass(t *testing.T) {
 		"chaos/cluster-worker-kill", "chaos/cluster-hung-worker",
 		"chaos/cluster-corrupt-partial", "chaos/cluster-cache-poison",
 		"chaos/cluster-all-workers-lost",
+		"chaos/crash-atomicio", "chaos/crash-manifest",
+		"chaos/crash-spill", "chaos/crash-cluster-checkpoint",
+		"chaos/crash-cluster-cache",
 	}
 	if len(results) != len(want) {
 		t.Fatalf("%d scenarios, want %d", len(results), len(want))

@@ -44,6 +44,9 @@ type Options struct {
 	// Workloads is the profile set invariants sweep over (default: the
 	// Mach IBS suite, Section 5's evaluation set).
 	Workloads []synth.Profile
+	// ChaosFilter restricts RunChaos to scenarios whose name matches this
+	// regular expression; "" runs the full suite (ibscheck -match).
+	ChaosFilter string
 }
 
 func (o Options) withDefaults() Options {

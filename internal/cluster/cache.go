@@ -3,11 +3,11 @@ package cluster
 import (
 	"encoding/json"
 	"expvar"
-	"os"
 	"path/filepath"
 	"sync"
 
 	"ibsim/internal/atomicio"
+	"ibsim/internal/crashfs"
 	"ibsim/internal/manifest"
 	"ibsim/internal/server"
 )
@@ -106,7 +106,8 @@ func (e *replayEntry) add(spec server.EngineSpec, r server.EngineResult) {
 // resultCache is the in-memory map plus (when dir is set) the sealed
 // on-disk mirror that survives coordinator restarts.
 type resultCache struct {
-	dir    string // "" = memory only
+	dir    string     // "" = memory only
+	fsys   crashfs.FS // nil = the real OS; the torture harness injects a Sim
 	poison *expvar.Int
 
 	mu      sync.Mutex
@@ -114,13 +115,21 @@ type resultCache struct {
 	replays map[string]*replayEntry
 }
 
-func newResultCache(dir string, poison *expvar.Int) *resultCache {
+func newResultCache(dir string, fsys crashfs.FS, poison *expvar.Int) *resultCache {
 	return &resultCache{
 		dir:     dir,
+		fsys:    fsys,
 		poison:  poison,
 		sweeps:  map[string]*sweepEntry{},
 		replays: map[string]*replayEntry{},
 	}
+}
+
+func (rc *resultCache) fs() crashfs.FS {
+	if rc.fsys == nil {
+		return crashfs.OS()
+	}
+	return rc.fsys
 }
 
 func (rc *resultCache) path(key string) string {
@@ -134,7 +143,7 @@ func (rc *resultCache) loadFile(key string, into any) bool {
 	if rc.dir == "" {
 		return false
 	}
-	raw, err := os.ReadFile(rc.path(key))
+	raw, err := rc.fs().ReadFile(rc.path(key))
 	if err != nil {
 		return false
 	}
@@ -144,7 +153,7 @@ func (rc *resultCache) loadFile(key string, into any) bool {
 	}
 	if err != nil {
 		rc.poison.Add(1)
-		os.Remove(rc.path(key))
+		rc.fs().Remove(rc.path(key))
 		return false
 	}
 	return true
@@ -159,10 +168,10 @@ func (rc *resultCache) storeFile(key string, v any) {
 	if err != nil {
 		return
 	}
-	if err := os.MkdirAll(filepath.Join(rc.dir, "cache"), 0o755); err != nil {
+	if err := rc.fs().MkdirAll(filepath.Join(rc.dir, "cache"), 0o755); err != nil {
 		return
 	}
-	atomicio.WriteFile(rc.path(key), manifest.Seal(payload), 0o644)
+	atomicio.WriteFileFS(rc.fs(), rc.path(key), manifest.Seal(payload), 0o644)
 }
 
 // loadSweep returns the entry for key, consulting memory then disk. The

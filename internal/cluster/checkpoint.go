@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"ibsim/internal/atomicio"
+	"ibsim/internal/crashfs"
 	"ibsim/internal/manifest"
 	"ibsim/internal/server"
 )
@@ -30,8 +31,16 @@ type sweepPlan struct {
 }
 
 type checkpointer struct {
-	dir     string // "" disables checkpointing; all methods become no-ops
+	dir     string     // "" disables checkpointing; all methods become no-ops
+	fsys    crashfs.FS // nil = the real OS; the torture harness injects a Sim
 	corrupt *expvar.Int
+}
+
+func (k *checkpointer) fs() crashfs.FS {
+	if k.fsys == nil {
+		return crashfs.OS()
+	}
+	return k.fsys
 }
 
 func (k *checkpointer) runDir(runKey string) string {
@@ -44,7 +53,7 @@ func (k *checkpointer) loadPlan(runKey string, want *sweepPlan) (*sweepPlan, boo
 	if k.dir == "" {
 		return nil, false
 	}
-	raw, err := os.ReadFile(filepath.Join(k.runDir(runKey), "plan.json"))
+	raw, err := k.fs().ReadFile(filepath.Join(k.runDir(runKey), "plan.json"))
 	if err != nil {
 		return nil, false
 	}
@@ -78,14 +87,14 @@ func (k *checkpointer) savePlan(runKey string, p *sweepPlan) {
 	if k.dir == "" {
 		return
 	}
-	if err := os.MkdirAll(k.runDir(runKey), 0o755); err != nil {
+	if err := k.fs().MkdirAll(k.runDir(runKey), 0o755); err != nil {
 		return
 	}
 	payload, err := json.Marshal(p)
 	if err != nil {
 		return
 	}
-	atomicio.WriteFile(filepath.Join(k.runDir(runKey), "plan.json"), manifest.Seal(payload), 0o644)
+	atomicio.WriteFileFS(k.fs(), filepath.Join(k.runDir(runKey), "plan.json"), manifest.Seal(payload), 0o644)
 }
 
 func (k *checkpointer) shardPath(runKey string, i int) string {
@@ -98,7 +107,7 @@ func (k *checkpointer) loadShard(runKey string, i int) (*server.SweepResponse, b
 	if k.dir == "" {
 		return nil, false
 	}
-	raw, err := os.ReadFile(k.shardPath(runKey, i))
+	raw, err := k.fs().ReadFile(k.shardPath(runKey, i))
 	if err != nil {
 		return nil, false
 	}
@@ -109,7 +118,7 @@ func (k *checkpointer) loadShard(runKey string, i int) (*server.SweepResponse, b
 	}
 	if err != nil {
 		k.corrupt.Add(1)
-		os.Remove(k.shardPath(runKey, i))
+		k.fs().Remove(k.shardPath(runKey, i))
 		return nil, false
 	}
 	return &resp, true
@@ -120,17 +129,19 @@ func (k *checkpointer) saveShard(runKey string, i int, resp *server.SweepRespons
 	if k.dir == "" {
 		return
 	}
-	if err := os.MkdirAll(k.runDir(runKey), 0o755); err != nil {
+	if err := k.fs().MkdirAll(k.runDir(runKey), 0o755); err != nil {
 		return
 	}
 	payload, err := json.Marshal(resp)
 	if err != nil {
 		return
 	}
-	atomicio.WriteFile(k.shardPath(runKey, i), manifest.Seal(payload), 0o644)
+	atomicio.WriteFileFS(k.fs(), k.shardPath(runKey, i), manifest.Seal(payload), 0o644)
 }
 
-// clear removes a finished run's checkpoint directory.
+// clear removes a finished run's checkpoint directory. This is cleanup, not
+// a crash surface: partials are individually sealed and verified on load, so
+// a partially cleared directory recovers exactly like an uncleared one.
 func (k *checkpointer) clear(runKey string) {
 	if k.dir == "" {
 		return

@@ -52,9 +52,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"path/filepath"
 	"sync"
 	"time"
 
+	"ibsim/internal/atomicio"
+	"ibsim/internal/crashfs"
 	"ibsim/internal/server"
 	"ibsim/internal/server/client"
 	"ibsim/internal/synth"
@@ -86,6 +89,10 @@ type Config struct {
 	// Dir is the durable root for the result cache and shard checkpoints;
 	// "" keeps the cache in memory only and disables checkpointing.
 	Dir string
+	// FS routes every durable write under Dir through an explicit
+	// filesystem; nil uses the real OS. The crash-consistency torture
+	// harness injects a crashfs.Sim here to power-fail individual ops.
+	FS crashfs.FS
 	// MaxShards caps how many shards one request is split into (default:
 	// the worker count).
 	MaxShards int
@@ -134,6 +141,34 @@ type nilWriter struct{}
 
 func (nilWriter) Write(p []byte) (int, error) { return len(p), nil }
 
+// fsOr returns fsys, or the real OS when nil.
+func fsOr(fsys crashfs.FS) crashfs.FS {
+	if fsys == nil {
+		return crashfs.OS()
+	}
+	return fsys
+}
+
+// sweepDurableRoot removes atomicio temp debris from every directory a
+// coordinator writes into under root — the root itself, the result cache,
+// and each run's partials directory — so a crashed predecessor's in-flight
+// temp files never accumulate and can never shadow a later write. Best
+// effort: a sweep failure must not stop a coordinator from starting.
+func sweepDurableRoot(fsys crashfs.FS, root string) {
+	atomicio.SweepTempsFS(fsys, root)
+	atomicio.SweepTempsFS(fsys, filepath.Join(root, "cache"))
+	partials := filepath.Join(root, "partials")
+	entries, err := fsys.ReadDir(partials)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			atomicio.SweepTempsFS(fsys, filepath.Join(partials, e.Name()))
+		}
+	}
+}
+
 // Coordinator scatters sweep and replay requests across the worker pool.
 type Coordinator struct {
 	cfg     Config
@@ -174,8 +209,11 @@ func New(cfg Config) *Coordinator {
 	c.mResume = counter("cluster_checkpoint_resume_total")
 	c.mCorrupt = counter("cluster_checkpoint_corrupt_total")
 	c.mPoison = counter("cluster_cache_poison_total")
-	c.cache = newResultCache(cfg.Dir, c.mPoison)
-	c.ckpt = &checkpointer{dir: cfg.Dir, corrupt: c.mCorrupt}
+	c.cache = newResultCache(cfg.Dir, cfg.FS, c.mPoison)
+	c.ckpt = &checkpointer{dir: cfg.Dir, fsys: cfg.FS, corrupt: c.mCorrupt}
+	if cfg.Dir != "" {
+		sweepDurableRoot(fsOr(cfg.FS), cfg.Dir)
+	}
 	for i, addr := range cfg.Workers {
 		c.workers = append(c.workers, &worker{idx: i, addr: addr, c: cfg.NewCaller(addr)})
 	}

@@ -1,0 +1,173 @@
+package cluster
+
+// Crash-torture hooks: the crash-consistency harness (internal/check) needs
+// to drive the EXACT persistence code a live coordinator runs — the
+// checkpointer and result cache are unexported, so these wrappers construct
+// them around an injected filesystem and a deterministic fixture, and verify
+// the recovery contract against a materialized post-crash image.
+
+import (
+	"expvar"
+	"fmt"
+	"reflect"
+
+	"ibsim/internal/atomicio"
+	"ibsim/internal/crashfs"
+	"ibsim/internal/manifest"
+	"ibsim/internal/server"
+)
+
+// crashFixture is the deterministic run the crash scenarios persist: a
+// two-cell sweep plan, its shard-0 partial, and the coalesced cache entry.
+func crashFixture() (base sweepBase, plan *sweepPlan, resp *server.SweepResponse, entry *sweepEntry) {
+	base = sweepBase{Workload: "crash-fixture", Seed: 7, Instructions: 1 << 16, LineSize: 64}
+	cells := []server.CellSpec{{Sets: 64, Assoc: 1}, {Sets: 128, Assoc: 2}}
+	plan = &sweepPlan{Base: base, CountDistinct: true, Cells: cells, Shards: [][]int{{0}, {1}}}
+	resp = &server.SweepResponse{
+		Workload:     base.Workload,
+		Seed:         base.Seed,
+		Instructions: base.Instructions,
+		LineSize:     base.LineSize,
+		Accesses:     base.Instructions,
+		Distinct:     4242,
+		Cells: []server.CellResult{
+			{Sets: 64, Assoc: 1, SizeBytes: 64 * 64, Misses: 9001},
+		},
+	}
+	entry = &sweepEntry{
+		Base:        base,
+		Accesses:    base.Instructions,
+		HasDistinct: true,
+		Distinct:    4242,
+		Cells: []server.CellResult{
+			{Sets: 64, Assoc: 1, SizeBytes: 64 * 64, Misses: 9001},
+			{Sets: 128, Assoc: 2, SizeBytes: 128 * 2 * 64, Misses: 707},
+		},
+	}
+	return base, plan, resp, entry
+}
+
+// crashRunKey is the fixture run's content address, derived exactly as the
+// coordinator derives it (base + cells).
+func crashRunKey() string {
+	base, plan, _, _ := crashFixture()
+	return manifest.Key("sweep-run", struct {
+		Base  sweepBase         `json:"base"`
+		Cells []server.CellSpec `json:"cells"`
+	}{base, plan.Cells})
+}
+
+// CrashCheckpointWrite runs the shard-checkpoint persistence sequence — save
+// the plan, then shard 0's sealed partial — through fsys rooted at dir. It is
+// the crash harness's write path for the checkpoint surface; save errors are
+// swallowed (checkpointing is best-effort in the coordinator too).
+func CrashCheckpointWrite(fsys crashfs.FS, dir string) error {
+	_, plan, resp, _ := crashFixture()
+	k := &checkpointer{dir: dir, fsys: fsys, corrupt: new(expvar.Int)}
+	key := crashRunKey()
+	k.savePlan(key, plan)
+	k.saveShard(key, 0, resp)
+	return nil
+}
+
+// CrashCheckpointVerify opens a post-crash checkpoint directory the way a
+// restarted coordinator does — sweep temp debris, then load — and asserts
+// the recovery contract: whatever loads is bit-identical to what was saved
+// (old-or-new, never a blend), a rejected shard is counted and its file
+// deleted, and no temp debris survives the sweep.
+func CrashCheckpointVerify(dir string) error {
+	sweepDurableRoot(crashfs.OS(), dir)
+	if err := assertNoTemps(dir); err != nil {
+		return err
+	}
+	_, plan, resp, _ := crashFixture()
+	key := crashRunKey()
+	corrupt := new(expvar.Int)
+	k := &checkpointer{dir: dir, corrupt: corrupt}
+	want := *plan
+	if got, ok := k.loadPlan(key, &want); ok {
+		if !reflect.DeepEqual(got, plan) {
+			return fmt.Errorf("recovered plan differs from the one saved: %+v", got)
+		}
+	}
+	if got, ok := k.loadShard(key, 0); ok {
+		if !reflect.DeepEqual(got, resp) {
+			return fmt.Errorf("recovered shard partial differs from the one saved: %+v", got)
+		}
+	}
+	// A shard rejected for corruption must have been deleted: loading it
+	// again must miss cleanly without another corruption count.
+	if n := corrupt.Value(); n > 0 {
+		before := n
+		if _, ok := k.loadShard(key, 0); ok {
+			return fmt.Errorf("corrupt shard partial served on second load")
+		}
+		if corrupt.Value() != before {
+			return fmt.Errorf("corrupt shard partial not deleted after rejection")
+		}
+	}
+	return nil
+}
+
+// CrashCacheWrite runs the result-cache persistence sequence — seal and
+// store the fixture sweep entry — through fsys rooted at dir.
+func CrashCacheWrite(fsys crashfs.FS, dir string) error {
+	base, _, _, entry := crashFixture()
+	rc := newResultCache(dir, fsys, new(expvar.Int))
+	rc.storeSweep(manifest.Key("sweep", base), entry)
+	return nil
+}
+
+// CrashCacheVerify opens a post-crash cache directory the way a restarted
+// coordinator does and asserts the recovery contract: a loaded entry is
+// bit-identical to the stored one, a poisoned entry is counted and deleted,
+// and no temp debris survives the sweep.
+func CrashCacheVerify(dir string) error {
+	sweepDurableRoot(crashfs.OS(), dir)
+	if err := assertNoTemps(dir); err != nil {
+		return err
+	}
+	base, _, _, entry := crashFixture()
+	key := manifest.Key("sweep", base)
+	poison := new(expvar.Int)
+	rc := newResultCache(dir, nil, poison)
+	if got := rc.loadSweep(key, base); got != nil {
+		if !reflect.DeepEqual(got, entry) {
+			return fmt.Errorf("recovered cache entry differs from the one stored: %+v", got)
+		}
+	}
+	if n := poison.Value(); n > 0 {
+		// The poisoned file must be gone: a fresh cache must miss cleanly.
+		rc2 := newResultCache(dir, nil, new(expvar.Int))
+		if rc2.loadSweep(key, base) != nil {
+			return fmt.Errorf("poisoned cache entry served on second load")
+		}
+	}
+	return nil
+}
+
+// assertNoTemps fails if any atomicio temp file survives anywhere under a
+// swept durable root — debris a recovery must have removed.
+func assertNoTemps(root string) error {
+	fsys := crashfs.OS()
+	var walk func(dir string) error
+	walk = func(dir string) error {
+		entries, err := fsys.ReadDir(dir)
+		if err != nil {
+			return nil // a missing subtree has no debris
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				if err := walk(dir + "/" + e.Name()); err != nil {
+					return err
+				}
+				continue
+			}
+			if atomicio.IsTemp(e.Name()) {
+				return fmt.Errorf("temp debris survived recovery: %s/%s", dir, e.Name())
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}

@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"expvar"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ibsim/internal/crashfs"
+	"ibsim/internal/manifest"
+)
+
+// seedDurableImage runs the checkpoint + cache persistence sequences through
+// a crashfs recording pass and materializes the flushed image — corruption
+// fixtures below start from a disk state the real write paths produced.
+func seedDurableImage(t *testing.T) string {
+	t.Helper()
+	live := t.TempDir()
+	sim := crashfs.NewSim(live, -1)
+	if err := CrashCheckpointWrite(sim, live); err != nil {
+		t.Fatal(err)
+	}
+	if err := CrashCacheWrite(sim, live); err != nil {
+		t.Fatal(err)
+	}
+	img := t.TempDir()
+	if err := sim.Materialize(img, crashfs.Flushed); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// mutateEveryByte runs check against a copy of path truncated at, then
+// bit-flipped at, a spread of byte positions.
+func mutateEveryByte(t *testing.T, path string, check func(label string)) {
+	t.Helper()
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.WriteFile(path, whole, 0o644)
+	for cut := 0; cut < len(whole); cut += 1 + len(whole)/64 {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check("truncated at " + filepath.Base(path))
+	}
+	for i := 0; i < len(whole); i += 1 + len(whole)/64 {
+		mut := append([]byte(nil), whole...)
+		mut[i] ^= 1 << (i % 8)
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check("bit-flipped at " + filepath.Base(path))
+	}
+}
+
+// TestCrashCheckpointRejectsCorruption mutates the sealed shard partial at
+// every sampled byte: the loader must never return a partial — each
+// corruption is counted, the file deleted, the shard recomputed.
+func TestCrashCheckpointRejectsCorruption(t *testing.T) {
+	img := seedDurableImage(t)
+	_, plan, resp, _ := crashFixture()
+	key := crashRunKey()
+	shard := filepath.Join(img, "partials", key, "shard-0.json")
+	whole, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutateEveryByte(t, shard, func(label string) {
+		corrupt := new(expvar.Int)
+		k := &checkpointer{dir: img, corrupt: corrupt}
+		if got, ok := k.loadShard(key, 0); ok {
+			if !reflect.DeepEqual(got, resp) {
+				t.Fatalf("%s: corrupted partial loaded as %+v", label, got)
+			}
+			return // a no-op mutation (empty-range cut) may legitimately load
+		}
+		if corrupt.Value() != 1 {
+			t.Fatalf("%s: rejected load counted %d corruptions, want 1", label, corrupt.Value())
+		}
+		if _, err := os.Stat(shard); !os.IsNotExist(err) {
+			t.Fatalf("%s: corrupt partial not deleted (%v)", label, err)
+		}
+		// Self-heal: the next save must land and load cleanly.
+		k.saveShard(key, 0, resp)
+		if got, ok := k.loadShard(key, 0); !ok || !reflect.DeepEqual(got, resp) {
+			t.Fatalf("%s: re-saved shard not served (%v)", label, ok)
+		}
+	})
+	if err := os.WriteFile(shard, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The plan loader has the same contract, without deletion: a corrupt
+	// plan is counted and ignored.
+	planPath := filepath.Join(img, "partials", key, "plan.json")
+	mutateEveryByte(t, planPath, func(label string) {
+		k := &checkpointer{dir: img, corrupt: new(expvar.Int)}
+		want := *plan
+		if got, ok := k.loadPlan(key, &want); ok && !reflect.DeepEqual(got, plan) {
+			t.Fatalf("%s: corrupted plan adopted: %+v", label, got)
+		}
+	})
+}
+
+// TestCrashCacheRejectsCorruption mutates the sealed result-cache entry at
+// every sampled byte: a restarted cache must never serve it — the poisoning
+// is counted, the file deleted, and the entry recomputed from scratch.
+func TestCrashCacheRejectsCorruption(t *testing.T) {
+	img := seedDurableImage(t)
+	base, _, _, entry := crashFixture()
+	key := manifest.Key("sweep", base)
+	path := filepath.Join(img, "cache", key+".json")
+	mutateEveryByte(t, path, func(label string) {
+		poison := new(expvar.Int)
+		rc := newResultCache(img, nil, poison)
+		if got := rc.loadSweep(key, base); got != nil {
+			if !reflect.DeepEqual(got, entry) {
+				t.Fatalf("%s: poisoned cache entry served: %+v", label, got)
+			}
+			return // no-op mutation
+		}
+		if poison.Value() > 1 {
+			t.Fatalf("%s: %d poison counts for one load", label, poison.Value())
+		}
+		if _, err := os.Stat(path); err == nil && poison.Value() == 1 {
+			t.Fatalf("%s: poisoned cache file not deleted", label)
+		}
+		// Self-heal: storing the entry again must serve cleanly.
+		rc.storeSweep(key, entry)
+		rc2 := newResultCache(img, nil, new(expvar.Int))
+		if got := rc2.loadSweep(key, base); got == nil || !reflect.DeepEqual(got, entry) {
+			t.Fatalf("%s: re-stored cache entry not served", label)
+		}
+	})
+}
+
+// TestCrashCoordinatorSweepsTempsOnOpen plants atomicio debris everywhere a
+// coordinator writes, then builds one: New must sweep all of it.
+func TestCrashCoordinatorSweepsTempsOnOpen(t *testing.T) {
+	img := seedDurableImage(t)
+	key := crashRunKey()
+	debris := []string{
+		filepath.Join(img, ".stray.tmp-1"),
+		filepath.Join(img, "cache", ".entry.json.tmp-2"),
+		filepath.Join(img, "partials", key, ".shard-0.json.tmp-3"),
+	}
+	for _, p := range debris {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := New(Config{Dir: img})
+	defer c.Close()
+	for _, p := range debris {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("debris survived coordinator open: %s (%v)", p, err)
+		}
+	}
+	// The swept directories still serve their real content.
+	base, _, _, entry := crashFixture()
+	rc := newResultCache(img, nil, new(expvar.Int))
+	if got := rc.loadSweep(manifest.Key("sweep", base), base); got == nil || !reflect.DeepEqual(got, entry) {
+		t.Errorf("cache entry lost in sweep")
+	}
+}

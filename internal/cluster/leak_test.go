@@ -1,0 +1,37 @@
+// External test package: internal/check imports internal/cluster, so the
+// leak bracket (check.NoGoroutineLeak) can only be used from outside the
+// cluster package itself.
+package cluster_test
+
+import (
+	"context"
+	"testing"
+
+	"ibsim/internal/check"
+	"ibsim/internal/cluster"
+	"ibsim/internal/server"
+)
+
+// TestCrashClusterShutdownNoGoroutineLeak drives a workerless coordinator
+// through its embedded local fallback — which lazily starts an in-process
+// HTTP server — and asserts Close tears all of it down: the fallback
+// server's run loop, its listener, and the client connections to it.
+func TestCrashClusterShutdownNoGoroutineLeak(t *testing.T) {
+	assertNoLeak := check.NoGoroutineLeak(t)
+
+	c := cluster.New(cluster.Config{Dir: t.TempDir()})
+	req := server.SweepRequest{Workload: "mpeg_play", Seed: 7, Instructions: 50_000,
+		LineSize: 32, Cells: []server.CellSpec{{Sets: 64, Assoc: 1}, {Sets: 128, Assoc: 2}}}
+	resp, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("sweep via local fallback: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("workerless sweep not marked degraded")
+	}
+	if c.Metric("cluster_local_fallback_total") == 0 {
+		t.Fatal("local fallback never engaged")
+	}
+	c.Close()
+	assertNoLeak()
+}

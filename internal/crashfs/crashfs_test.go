@@ -1,0 +1,270 @@
+package crashfs_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ibsim/internal/crashfs"
+)
+
+// atomicReplace is the canonical crash-safe sequence the simulator models:
+// temp, write, fsync, rename, directory sync.
+func atomicReplace(fsys crashfs.FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := fsys.CreateTemp(dir, ".out.tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fsys.Rename(f.Name(), path); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// TestCrashSimSchedule pins the op accounting: the recording pass counts
+// every durability-relevant op, a crash at op k fails op k without applying
+// it, and every later op fails with ErrCrashed.
+func TestCrashSimSchedule(t *testing.T) {
+	root := t.TempDir()
+	rec := crashfs.NewSim(root, -1)
+	if err := atomicReplace(rec, filepath.Join(root, "a"), []byte("hello")); err != nil {
+		t.Fatalf("recording pass: %v", err)
+	}
+	total := rec.OpCount()
+	if total != 6 { // create, write, sync, close, rename, syncdir
+		t.Fatalf("op schedule = %d ops %v, want 6", total, rec.Ops())
+	}
+	for k := 0; k < total; k++ {
+		root := t.TempDir()
+		sim := crashfs.NewSim(root, k)
+		err := atomicReplace(sim, filepath.Join(root, "a"), []byte("hello"))
+		if !errors.Is(err, crashfs.ErrCrashed) {
+			t.Fatalf("crash at op %d: err = %v, want ErrCrashed", k, err)
+		}
+		if !sim.Crashed() {
+			t.Fatalf("crash at op %d: simulator not crashed", k)
+		}
+		// Power is off: nothing works any more, including reads.
+		if _, err := sim.ReadFile(filepath.Join(root, "a")); !errors.Is(err, crashfs.ErrCrashed) {
+			t.Fatalf("read after crash: err = %v, want ErrCrashed", err)
+		}
+		if err := sim.Remove(filepath.Join(root, "a")); !errors.Is(err, crashfs.ErrCrashed) {
+			t.Fatalf("cleanup after crash: err = %v, want ErrCrashed", err)
+		}
+	}
+}
+
+// TestCrashSimVariants walks one atomic replace over existing content and
+// pins what each durability variant exposes at the interesting crash points.
+func TestCrashSimVariants(t *testing.T) {
+	oldData, newData := []byte("old-content"), []byte("new-content!")
+	readImage := func(sim *crashfs.Sim, v crashfs.Variant) map[string]string {
+		t.Helper()
+		dst := t.TempDir()
+		if err := sim.Materialize(dst, v); err != nil {
+			t.Fatalf("materialize %s: %v", v, err)
+		}
+		out := map[string]string{}
+		err := filepath.WalkDir(dst, func(path string, d os.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(dst, path)
+			out[rel] = string(data)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking image: %v", err)
+		}
+		return out
+	}
+	run := func(crashAt int) (*crashfs.Sim, string) {
+		root := t.TempDir()
+		if err := os.WriteFile(filepath.Join(root, "a"), oldData, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sim := crashfs.NewSim(root, crashAt)
+		atomicReplace(sim, filepath.Join(root, "a"), newData)
+		return sim, root
+	}
+
+	// Crash at the rename (op 4): the rename never applies. Every variant
+	// keeps the old content; the synced temp survives as debris except under
+	// Lost-with-uncommitted-create... the temp WAS fsynced, so it is durable.
+	sim, _ := run(4)
+	for _, v := range crashfs.Variants {
+		img := readImage(sim, v)
+		if img["a"] != string(oldData) {
+			t.Errorf("crash at rename, %s: a = %q, want old content", v, img["a"])
+		}
+	}
+
+	// Crash at the directory sync (op 5): the rename applied but is not
+	// committed. Lost rolls it back — old content at the published path, the
+	// new bytes surviving only as temp debris; Torn and Flushed show the new
+	// content.
+	sim, _ = run(5)
+	img := readImage(sim, crashfs.Lost)
+	if img["a"] != string(oldData) {
+		t.Errorf("crash at syncdir, lost: a = %q, want old content", img["a"])
+	}
+	foundDebris := false
+	for name, content := range img {
+		if strings.Contains(name, ".tmp-") {
+			foundDebris = true
+			if content != string(newData) {
+				t.Errorf("crash at syncdir, lost: debris %s = %q, want synced new content", name, content)
+			}
+		}
+	}
+	if !foundDebris {
+		t.Errorf("crash at syncdir, lost: synced temp did not survive as debris: %v", img)
+	}
+	for _, v := range []crashfs.Variant{crashfs.Torn, crashfs.Flushed} {
+		if img := readImage(sim, v); img["a"] != string(newData) {
+			t.Errorf("crash at syncdir, %s: a = %q, want new content", v, img["a"])
+		}
+	}
+
+	// Crash at the sync (op 2): unsynced temp data. Lost drops the
+	// uncommitted temp entirely; Torn tears its bytes.
+	sim, _ = run(2)
+	img = readImage(sim, crashfs.Lost)
+	for name := range img {
+		if strings.Contains(name, ".tmp-") {
+			t.Errorf("crash at sync, lost: unsynced uncommitted temp survived as %s", name)
+		}
+	}
+	img = readImage(sim, crashfs.Torn)
+	for name, content := range img {
+		if strings.Contains(name, ".tmp-") && len(content) >= len(newData) {
+			t.Errorf("crash at sync, torn: temp %s holds %d bytes, want a torn prefix of %d",
+				name, len(content), len(newData))
+		}
+	}
+}
+
+// TestCrashSimRemoveResurrection pins the tombstone model: a remove of
+// durable content is reversible until the directory sync commits it.
+func TestCrashSimRemoveResurrection(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "a"), []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Crash at the syncdir following the remove: the remove rolls back.
+	sim := crashfs.NewSim(root, 1)
+	if err := sim.Remove(filepath.Join(root, "a")); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := sim.SyncDir(root); !errors.Is(err, crashfs.ErrCrashed) {
+		t.Fatalf("syncdir: err = %v, want ErrCrashed", err)
+	}
+	dst := t.TempDir()
+	if err := sim.Materialize(dst, crashfs.Lost); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dst, "a"))
+	if err != nil || !bytes.Equal(data, []byte("keep")) {
+		t.Fatalf("lost image: a = %q, %v; want removed file resurrected", data, err)
+	}
+	// Flushed commits the remove: the file is gone.
+	dst = t.TempDir()
+	if err := sim.Materialize(dst, crashfs.Flushed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dst, "a")); !os.IsNotExist(err) {
+		t.Fatalf("flushed image: removed file still present (%v)", err)
+	}
+}
+
+// TestCrashTortureCatchesUnsafeWriter is the harness's negative control: a
+// writer that clobbers the published path in place — no temp, no fsync —
+// must FAIL an old-or-new verifier at some crash point. If this test fails,
+// the torture harness has lost its teeth.
+func TestCrashTortureCatchesUnsafeWriter(t *testing.T) {
+	oldData, newData := []byte("old-content"), []byte("new-content!")
+	tor := crashfs.Torture{
+		Setup: func(root string) error {
+			return os.WriteFile(filepath.Join(root, "a"), oldData, 0o644)
+		},
+		Write: func(fsys crashfs.FS, root string) error {
+			f, err := fsys.Create(filepath.Join(root, "a"))
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write(newData); err != nil {
+				return err
+			}
+			return f.Close()
+		},
+		Verify: func(img crashfs.Image) error {
+			data, err := os.ReadFile(filepath.Join(img.Dir, "a"))
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(data, oldData) && !bytes.Equal(data, newData) {
+				return errors.New("neither old nor new")
+			}
+			return nil
+		},
+	}
+	if _, _, err := tor.Run(); err == nil {
+		t.Fatal("torture passed an in-place clobbering writer; it must expose a torn state")
+	}
+}
+
+// TestCrashTortureControl pins the harness bookkeeping: a safe writer sweeps
+// every (crash point, variant) pair including the clean-completion control,
+// and a write sequence with no persistence ops is a harness error.
+func TestCrashTortureControl(t *testing.T) {
+	data := []byte("payload")
+	tor := crashfs.Torture{
+		Write: func(fsys crashfs.FS, root string) error {
+			return atomicReplace(fsys, filepath.Join(root, "a"), data)
+		},
+		Verify: func(img crashfs.Image) error {
+			got, err := os.ReadFile(filepath.Join(img.Dir, "a"))
+			if img.Op == img.TotalOps { // control point: the write completed
+				if err != nil || !bytes.Equal(got, data) {
+					return errors.New("completed write not visible in the flushed image")
+				}
+			}
+			return nil
+		},
+	}
+	points, images, err := tor.Run()
+	if err != nil {
+		t.Fatalf("torture: %v", err)
+	}
+	if points != 7 { // 6 ops + control
+		t.Errorf("points = %d, want 7", points)
+	}
+	if images != points*len(crashfs.Variants) {
+		t.Errorf("images = %d, want %d", images, points*len(crashfs.Variants))
+	}
+
+	empty := crashfs.Torture{
+		Write:  func(fsys crashfs.FS, root string) error { return nil },
+		Verify: func(img crashfs.Image) error { return nil },
+	}
+	if _, _, err := empty.Run(); err == nil {
+		t.Error("torture accepted a write sequence with zero persistence ops")
+	}
+}

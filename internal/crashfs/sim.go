@@ -1,0 +1,480 @@
+package crashfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation once the simulated power has
+// failed: the op at the crash point does not execute, and nothing after it
+// can touch the disk. Persistence code must treat it like any other I/O
+// error — a process that has lost power does not get to clean up.
+var ErrCrashed = errors.New("crashfs: simulated power failure")
+
+// Variant selects how much un-committed state a crash image retains. A
+// correct recovery path must hold its contract under all three — a real
+// power cut lands anywhere in between.
+type Variant int
+
+const (
+	// Lost is the adversarial journal replay: data past the last fsync is
+	// gone, and namespace operations (renames, creates, removes) not yet
+	// committed by a directory sync are rolled back — a published rename
+	// can vanish, exposing the old artifact plus the temp file as debris.
+	Lost Variant = iota
+	// Torn applies every namespace operation but tears unsynced data in
+	// half: the classic truncated-temp / half-written-file image.
+	Torn
+	// Flushed persists everything as the process last saw it — the kernel
+	// wrote every cache back just before the power died.
+	Flushed
+)
+
+// String names the variant for failure reports.
+func (v Variant) String() string {
+	switch v {
+	case Lost:
+		return "lost"
+	case Torn:
+		return "torn"
+	case Flushed:
+		return "flushed"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Variants is the full durability sweep Torture runs by default.
+var Variants = []Variant{Lost, Torn, Flushed}
+
+// Op records one durability-relevant operation for crash-point enumeration
+// and failure reporting.
+type Op struct {
+	// Kind is the operation name: mkdir, create, write, sync, close,
+	// rename, remove, syncdir.
+	Kind string
+	// Path is the primary path touched (the destination for renames).
+	Path string
+}
+
+func (o Op) String() string { return o.Kind + " " + o.Path }
+
+// fileState tracks one file's durability relative to the live tree.
+type fileState struct {
+	size   int64 // live length (append-only model)
+	synced int64 // length guaranteed durable by the last fsync
+	// nsCommitted: the entry's presence at its current path is durable
+	// (fsync of the file, or a directory sync after the namespace op that
+	// put it here).
+	nsCommitted bool
+	// srcPath is where the file durably lives when an un-committed rename
+	// moved it ("" = nowhere / current path). In the Lost variant the file
+	// reappears there.
+	srcPath string
+	// replaced is the content an un-committed rename clobbered at the
+	// current path; the Lost variant restores it.
+	replaced []byte
+}
+
+// Sim is the power-failure simulator: an FS over a real backing directory
+// (so live readers, mmap included, behave exactly as on the OS) that counts
+// durability-relevant ops, fails everything from a chosen op onward, and
+// materializes the post-crash disk image. Not safe for concurrent use by
+// multiple writers of the same file; concurrent distinct-file use is
+// serialized internally.
+type Sim struct {
+	root string
+
+	mu      sync.Mutex
+	crashAt int // op index at which power fails; -1 = never
+	crashed bool
+	ops     []Op
+	files   map[string]*fileState
+	tombs   map[string][]byte // un-committed removes: durable content by path
+}
+
+// NewSim returns a simulator over root (which must exist) that kills the
+// power at op index crashAt (-1 = never — the recording pass).
+func NewSim(root string, crashAt int) *Sim {
+	return &Sim{
+		root:    root,
+		crashAt: crashAt,
+		files:   map[string]*fileState{},
+		tombs:   map[string][]byte{},
+	}
+}
+
+// OpCount returns how many durability-relevant ops have been attempted
+// (including the one that crashed).
+func (s *Sim) OpCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ops)
+}
+
+// Ops returns the recorded op schedule.
+func (s *Sim) Ops() []Op {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Op(nil), s.ops...)
+}
+
+// Crashed reports whether the power has failed.
+func (s *Sim) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// gate records a durability-relevant op and fails it when the crash point
+// is reached. Callers hold s.mu.
+func (s *Sim) gate(kind, path string) error {
+	if s.crashed {
+		return fmt.Errorf("%s %s: %w", kind, path, ErrCrashed)
+	}
+	s.ops = append(s.ops, Op{Kind: kind, Path: path})
+	if s.crashAt >= 0 && len(s.ops)-1 == s.crashAt {
+		s.crashed = true
+		return fmt.Errorf("%s %s: %w", kind, path, ErrCrashed)
+	}
+	return nil
+}
+
+// readGate fails reads after the crash without counting them as crash
+// points: a powered-off machine serves no reads, but reads do not change
+// what survives.
+func (s *Sim) readGate(kind, path string) error {
+	if s.crashed {
+		return fmt.Errorf("%s %s: %w", kind, path, ErrCrashed)
+	}
+	return nil
+}
+
+func (s *Sim) state(path string) *fileState {
+	st, ok := s.files[path]
+	if !ok {
+		st = &fileState{}
+		s.files[path] = st
+	}
+	return st
+}
+
+// durableSnapshot returns the path and content a tracked file would occupy
+// after losing every un-committed op, or "" when nothing survives.
+func (s *Sim) durableSnapshot(path string, st *fileState) (string, []byte) {
+	loc := ""
+	if st.nsCommitted {
+		loc = path
+	} else if st.srcPath != "" {
+		loc = st.srcPath
+	}
+	if loc == "" {
+		return "", nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil
+	}
+	if st.synced < int64(len(data)) {
+		data = data[:st.synced]
+	}
+	return loc, data
+}
+
+// MkdirAll implements FS.
+func (s *Sim) MkdirAll(path string, perm os.FileMode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gate("mkdir", path); err != nil {
+		return err
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// Create implements FS. Creating over an existing file snapshots the old
+// content so the Lost variant can expose it.
+func (s *Sim) Create(name string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gate("create", name); err != nil {
+		return nil, err
+	}
+	old, _ := os.ReadFile(name)
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	st := &fileState{}
+	if old != nil {
+		st.replaced = old
+	}
+	s.files[name] = st
+	return &simFile{s: s, f: f, path: name}, nil
+}
+
+// CreateTemp implements FS.
+func (s *Sim) CreateTemp(dir, pattern string) (File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gate("create", filepath.Join(dir, pattern)); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	s.files[f.Name()] = &fileState{}
+	return &simFile{s: s, f: f, path: f.Name()}, nil
+}
+
+// Rename implements FS. The rename applies to the live tree immediately but
+// stays un-committed — reversible by a crash — until the parent directory
+// is synced.
+func (s *Sim) Rename(oldpath, newpath string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gate("rename", newpath); err != nil {
+		return err
+	}
+	replaced, _ := os.ReadFile(newpath)
+	if err := os.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	st, ok := s.files[oldpath]
+	if !ok {
+		// Untracked files predate the simulator and are fully durable.
+		st = &fileState{nsCommitted: true}
+		if fi, err := os.Stat(newpath); err == nil {
+			st.size = fi.Size()
+			st.synced = fi.Size()
+		}
+	}
+	delete(s.files, oldpath)
+	src := ""
+	if st.nsCommitted {
+		src = oldpath
+	} else if st.srcPath != "" {
+		src = st.srcPath
+	}
+	st.srcPath = src
+	st.nsCommitted = false
+	st.replaced = replaced
+	s.files[newpath] = st
+	return nil
+}
+
+// Remove implements FS. Removing a durable file stays reversible until the
+// parent directory is synced: the Lost variant resurrects it.
+func (s *Sim) Remove(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gate("remove", name); err != nil {
+		return err
+	}
+	st, tracked := s.files[name]
+	if !tracked {
+		if data, err := os.ReadFile(name); err == nil {
+			s.tombs[name] = data
+		}
+	} else {
+		if loc, data := s.durableSnapshot(name, st); loc != "" {
+			s.tombs[loc] = data
+		}
+		delete(s.files, name)
+	}
+	return os.Remove(name)
+}
+
+// ReadFile implements FS.
+func (s *Sim) ReadFile(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.readGate("read", name); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(name)
+}
+
+// ReadDir implements FS.
+func (s *Sim) ReadDir(name string) ([]fs.DirEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.readGate("readdir", name); err != nil {
+		return nil, err
+	}
+	return os.ReadDir(name)
+}
+
+// SyncDir implements FS: commits every pending namespace op (create,
+// rename, remove) for entries directly inside dir.
+func (s *Sim) SyncDir(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gate("syncdir", dir); err != nil {
+		return err
+	}
+	for path, st := range s.files {
+		if filepath.Dir(path) != dir {
+			continue
+		}
+		st.nsCommitted = true
+		st.srcPath = ""
+		st.replaced = nil
+	}
+	for path := range s.tombs {
+		if filepath.Dir(path) == dir {
+			delete(s.tombs, path)
+		}
+	}
+	return nil
+}
+
+// simFile is a Sim-tracked open file.
+type simFile struct {
+	s    *Sim
+	f    *os.File
+	path string
+}
+
+func (f *simFile) Name() string { return f.path }
+
+func (f *simFile) Write(p []byte) (int, error) {
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	if err := f.s.gate("write", f.path); err != nil {
+		return 0, err
+	}
+	n, err := f.f.Write(p)
+	if st, ok := f.s.files[f.path]; ok {
+		st.size += int64(n)
+	}
+	return n, err
+}
+
+// Chmod passes through without counting as a crash point: mode bits do not
+// participate in the recovery contracts under test.
+func (f *simFile) Chmod(mode os.FileMode) error {
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	if err := f.s.readGate("chmod", f.path); err != nil {
+		return err
+	}
+	return f.f.Chmod(mode)
+}
+
+// Sync makes the file's data — and its directory entry at the current path
+// — durable.
+func (f *simFile) Sync() error {
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	if err := f.s.gate("sync", f.path); err != nil {
+		return err
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	if st, ok := f.s.files[f.path]; ok {
+		st.synced = st.size
+		st.nsCommitted = true
+	}
+	return nil
+}
+
+func (f *simFile) Close() error {
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	if err := f.s.gate("close", f.path); err != nil {
+		// Power is off: release the handle so the test host does not leak
+		// descriptors, but report the crash.
+		f.f.Close()
+		return err
+	}
+	return f.f.Close()
+}
+
+// Materialize writes the post-crash disk image under variant v into dst
+// (created as needed): what a recovery process would find when the machine
+// comes back. The live tree is untouched, so several variants can be
+// rendered from one crashed Sim.
+func (s *Sim) Materialize(dst string, v Variant) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	emit := func(path string, data []byte) error {
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return fmt.Errorf("crashfs: %s is outside the simulated root %s", path, s.root)
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, data, 0o644)
+	}
+
+	var live []string
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			live = append(live, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Strings(live)
+
+	for _, path := range live {
+		st, tracked := s.files[path]
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if !tracked || v == Flushed {
+			// Untracked files predate the simulator: fully durable.
+			if err := emit(path, data); err != nil {
+				return err
+			}
+			continue
+		}
+		switch v {
+		case Torn:
+			cut := st.synced + (int64(len(data))-st.synced+1)/2
+			if cut > int64(len(data)) {
+				cut = int64(len(data))
+			}
+			if err := emit(path, data[:cut]); err != nil {
+				return err
+			}
+		case Lost:
+			if loc, durable := s.durableSnapshot(path, st); loc != "" {
+				if err := emit(loc, durable); err != nil {
+					return err
+				}
+			}
+			if !st.nsCommitted && st.replaced != nil {
+				if err := emit(path, st.replaced); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if v == Lost {
+		for path, data := range s.tombs {
+			if err := emit(path, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

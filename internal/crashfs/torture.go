@@ -1,0 +1,138 @@
+package crashfs
+
+import (
+	"fmt"
+	"os"
+)
+
+// Image is one materialized crash state handed to a Torture verifier.
+type Image struct {
+	// Dir is the root of the post-crash disk image.
+	Dir string
+	// Op is the index of the power-failed op (TotalOps = no crash: the
+	// clean-completion control point).
+	Op int
+	// TotalOps is the length of the recorded op schedule.
+	TotalOps int
+	// FailedOp describes the op the power failure struck.
+	FailedOp string
+	// Variant is the durability variant rendered in Dir.
+	Variant Variant
+}
+
+// Torture enumerates every persistence op of a write sequence as a crash
+// point, materializes each crash under every durability variant, and runs
+// the recovery verifier against the image.
+type Torture struct {
+	// Setup pre-seeds the root before the simulator attaches (plain os
+	// writes; everything it creates is treated as fully durable). Optional.
+	Setup func(root string) error
+	// Write performs the persistence sequence under test through fsys. It
+	// runs once per crash point; a run whose power fails mid-sequence is
+	// expected to return an error (or swallow it, for best-effort paths) —
+	// Torture does not require either.
+	Write func(fsys FS, root string) error
+	// Verify asserts the recovery contract against one crash image. A
+	// non-nil error fails the torture run with the image's coordinates.
+	Verify func(img Image) error
+	// Variants overrides the durability sweep (default: Lost, Torn,
+	// Flushed).
+	Variants []Variant
+}
+
+// Run executes the torture: one recording pass to enumerate the op
+// schedule, then every (crash point, variant) pair — including the
+// no-crash control point — each verified. It returns the number of crash
+// points and images verified.
+func (t Torture) Run() (points, images int, err error) {
+	variants := t.Variants
+	if len(variants) == 0 {
+		variants = Variants
+	}
+	total, err := t.record()
+	if err != nil {
+		return 0, 0, err
+	}
+	for k := 0; k <= total; k++ {
+		n, err := t.crashPoint(k, total, variants)
+		images += n
+		if err != nil {
+			return points, images, err
+		}
+		points++
+	}
+	return points, images, nil
+}
+
+// record runs the write sequence with the power on to enumerate the op
+// schedule.
+func (t Torture) record() (int, error) {
+	root, err := os.MkdirTemp("", "crashfs-record-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(root)
+	if t.Setup != nil {
+		if err := t.Setup(root); err != nil {
+			return 0, fmt.Errorf("crashfs: torture setup: %w", err)
+		}
+	}
+	sim := NewSim(root, -1)
+	if err := t.Write(sim, root); err != nil {
+		return 0, fmt.Errorf("crashfs: recording pass failed: %w", err)
+	}
+	n := sim.OpCount()
+	if n == 0 {
+		return 0, fmt.Errorf("crashfs: write sequence performed no persistence ops")
+	}
+	return n, nil
+}
+
+// crashPoint runs the write with power failing at op k and verifies every
+// variant's image.
+func (t Torture) crashPoint(k, total int, variants []Variant) (images int, err error) {
+	root, err := os.MkdirTemp("", "crashfs-live-")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(root)
+	if t.Setup != nil {
+		if err := t.Setup(root); err != nil {
+			return 0, fmt.Errorf("crashfs: torture setup: %w", err)
+		}
+	}
+	crashAt := k
+	if k == total {
+		crashAt = -1 // the clean-completion control point
+	}
+	sim := NewSim(root, crashAt)
+	werr := t.Write(sim, root)
+	failed := "none (completed)"
+	if k < total {
+		if !sim.Crashed() {
+			return 0, fmt.Errorf("crashfs: op schedule shrank: crash point %d never reached (%d ops this run, %d recorded)",
+				k, sim.OpCount(), total)
+		}
+		failed = sim.Ops()[k].String()
+	} else if werr != nil {
+		return 0, fmt.Errorf("crashfs: control run (no crash) failed: %w", werr)
+	}
+	for _, v := range variants {
+		dst, err := os.MkdirTemp("", "crashfs-img-")
+		if err != nil {
+			return images, err
+		}
+		img := Image{Dir: dst, Op: k, TotalOps: total, FailedOp: failed, Variant: v}
+		verr := sim.Materialize(dst, v)
+		if verr == nil {
+			verr = t.Verify(img)
+		}
+		os.RemoveAll(dst)
+		if verr != nil {
+			return images, fmt.Errorf("crash at op %d/%d (%s), variant %s: %w",
+				k, total, failed, v, verr)
+		}
+		images++
+	}
+	return images, nil
+}

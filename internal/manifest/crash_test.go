@@ -1,0 +1,165 @@
+package manifest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ibsim/internal/crashfs"
+)
+
+// seedImage runs a manifest write sequence through a crashfs recording pass
+// and materializes the flushed image — a disk state produced by the real
+// persistence code, not hand-built fixtures.
+func seedImage(t *testing.T, params Params, exhibits map[string]string) string {
+	t.Helper()
+	live := t.TempDir()
+	sim := crashfs.NewSim(live, -1)
+	m, _, err := OpenFS(sim, live, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range exhibits {
+		if err := m.Put(name, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := t.TempDir()
+	if err := sim.Materialize(img, crashfs.Flushed); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestCrashManifestRejectsTruncation cuts the recorded exhibit file at every
+// byte boundary: every cut must surface as the typed ErrCorruptOutput —
+// never a silent partial load, never an untyped error.
+func TestCrashManifestRejectsTruncation(t *testing.T) {
+	params := Params{Instructions: 1000, Trials: 1, Seed: 3}
+	want := "exhibit body: 0.123456 misses/instr\n"
+	img := seedImage(t, params, map[string]string{"fig": want})
+	path := filepath.Join(img, "fig.out")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(whole); cut++ {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := Open(img, params)
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		got, lerr := m.Lookup("fig")
+		if lerr == nil {
+			t.Fatalf("cut %d: truncated exhibit served as %q", cut, got)
+		}
+		if !errors.Is(lerr, ErrCorruptOutput) {
+			t.Fatalf("cut %d: untyped rejection %v", cut, lerr)
+		}
+		if got != "" {
+			t.Fatalf("cut %d: partial content %q returned alongside error", cut, got)
+		}
+	}
+}
+
+// TestCrashManifestRejectsBitFlips flips one bit at every byte of the
+// exhibit and of the index: a flipped exhibit is ErrCorruptOutput, a flipped
+// index either still parses identically (flip in insignificant JSON
+// whitespace cannot happen — every byte is significant to the digest check)
+// or discards the run, surfacing the exhibit as ErrMissing. No flip may ever
+// alter served content.
+func TestCrashManifestRejectsBitFlips(t *testing.T) {
+	params := Params{Instructions: 1000, Trials: 1, Seed: 3}
+	want := "exhibit body: 0.123456 misses/instr\n"
+	img := seedImage(t, params, map[string]string{"fig": want})
+
+	flip := func(path string, i int, bit byte) func() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), data...)
+		mut[i] ^= bit
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return func() {
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	exhibit := filepath.Join(img, "fig.out")
+	n, _ := os.ReadFile(exhibit)
+	for i := 0; i < len(n); i++ {
+		restore := flip(exhibit, i, 1<<(i%8))
+		m, _, err := Open(img, params)
+		if err != nil {
+			t.Fatalf("flip %d: open: %v", i, err)
+		}
+		if got, lerr := m.Lookup("fig"); lerr == nil || !errors.Is(lerr, ErrCorruptOutput) {
+			t.Fatalf("flip %d: exhibit flip not typed-rejected: %q, %v", i, got, lerr)
+		}
+		restore()
+	}
+
+	index := filepath.Join(img, indexName)
+	raw, _ := os.ReadFile(index)
+	for i := 0; i < len(raw); i++ {
+		restore := flip(index, i, 1<<(i%8))
+		m, _, err := Open(img, params)
+		if err != nil {
+			t.Fatalf("index flip %d: open: %v", i, err)
+		}
+		got, lerr := m.Lookup("fig")
+		switch {
+		case lerr == nil:
+			if got != want {
+				t.Fatalf("index flip %d: wrong content served: %q", i, got)
+			}
+		case errors.Is(lerr, ErrMissing) || errors.Is(lerr, ErrCorruptOutput):
+			// Typed rejection: the caller recomputes.
+		default:
+			t.Fatalf("index flip %d: untyped rejection %v", i, lerr)
+		}
+		restore()
+	}
+}
+
+// TestCrashManifestTempNeverLoaded plants a stale temp staging a poisoned
+// exhibit next to a good manifest: opening must sweep it, and the lookup
+// must serve the real exhibit.
+func TestCrashManifestTempNeverLoaded(t *testing.T) {
+	params := Params{Instructions: 1000, Trials: 1, Seed: 3}
+	want := "good output\n"
+	img := seedImage(t, params, map[string]string{"fig": want})
+	stale := filepath.Join(img, ".fig.out.tmp-999")
+	if err := os.WriteFile(stale, []byte("poisoned partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, carried, err := Open(img, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carried != 1 {
+		t.Fatalf("carried %d exhibits, want 1", carried)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp survived open (%v)", err)
+	}
+	got, err := m.Lookup("fig")
+	if err != nil || got != want {
+		t.Fatalf("Lookup = %q, %v; want the real exhibit", got, err)
+	}
+	entries, _ := os.ReadDir(img)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp debris after open: %s", e.Name())
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"ibsim/internal/atomicio"
+	"ibsim/internal/crashfs"
 )
 
 // Schema identifies the manifest file format.
@@ -56,21 +57,33 @@ type index struct {
 
 // Manifest is an open run directory.
 type Manifest struct {
-	dir string
-	idx index
+	fsys crashfs.FS
+	dir  string
+	idx  index
 }
 
 // Open loads the manifest in dir, creating the directory as needed. An
 // existing index with different parameters (or an unknown schema) is
 // discarded: its cached outputs belong to a different run and must not be
-// reused. The second return reports how many completed exhibits were
-// carried over.
+// reused. Orphaned temp files from a crashed predecessor are swept on open,
+// so debris can never shadow or be mistaken for an output. The second return
+// reports how many completed exhibits were carried over.
 func Open(dir string, params Params) (*Manifest, int, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(crashfs.OS(), dir, params)
+}
+
+// OpenFS is Open through an explicit filesystem — the crash-consistency
+// torture harness's entry point; every write the manifest makes goes
+// through fsys.
+func OpenFS(fsys crashfs.FS, dir string, params Params) (*Manifest, int, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, 0, fmt.Errorf("manifest: %w", err)
 	}
-	m := &Manifest{dir: dir, idx: index{Schema: Schema, Params: params, Exhibits: map[string]entry{}}}
-	raw, err := os.ReadFile(filepath.Join(dir, indexName))
+	if _, err := atomicio.SweepTempsFS(fsys, dir); err != nil {
+		return nil, 0, fmt.Errorf("manifest: %w", err)
+	}
+	m := &Manifest{fsys: fsys, dir: dir, idx: index{Schema: Schema, Params: params, Exhibits: map[string]entry{}}}
+	raw, err := fsys.ReadFile(filepath.Join(dir, indexName))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return m, 0, nil
@@ -92,21 +105,41 @@ func Open(dir string, params Params) (*Manifest, int, error) {
 // Len returns the number of completed exhibits on record.
 func (m *Manifest) Len() int { return len(m.idx.Exhibits) }
 
+// ErrMissing reports an exhibit the manifest has no completed record of.
+var ErrMissing = errors.New("manifest: no completed output on record")
+
+// ErrCorruptOutput reports a recorded output whose on-disk bytes no longer
+// match the index digest — a torn write, bit rot, or a hand edit. The
+// caller must recompute the exhibit; the stored bytes are never returned.
+var ErrCorruptOutput = errors.New("manifest: output does not match recorded digest")
+
 // Get returns the stored output of name, verifying its digest; a missing,
 // unreadable, or corrupted output reports false so the caller recomputes it.
 func (m *Manifest) Get(name string) (string, bool) {
+	out, err := m.Lookup(name)
+	return out, err == nil
+}
+
+// Lookup is Get with the typed rejection contract: a missing or unindexed
+// output returns ErrMissing, an unreadable or digest-mismatched one returns
+// ErrCorruptOutput (wrapped with detail). A partial or tampered file is
+// never returned as data.
+func (m *Manifest) Lookup(name string) (string, error) {
 	e, ok := m.idx.Exhibits[name]
 	if !ok {
-		return "", false
+		return "", fmt.Errorf("%w: %q", ErrMissing, name)
 	}
-	data, err := os.ReadFile(filepath.Join(m.dir, e.File))
+	data, err := m.fsys.ReadFile(filepath.Join(m.dir, e.File))
 	if err != nil {
-		return "", false
+		if os.IsNotExist(err) {
+			return "", fmt.Errorf("%w: %q (indexed file absent)", ErrMissing, name)
+		}
+		return "", fmt.Errorf("%w: %q: %v", ErrCorruptOutput, name, err)
 	}
 	if digest(data) != e.SHA256 {
-		return "", false
+		return "", fmt.Errorf("%w: %q (%d bytes on disk)", ErrCorruptOutput, name, len(data))
 	}
-	return string(data), true
+	return string(data), nil
 }
 
 // Put atomically records name's output: the exhibit file first, then the
@@ -118,7 +151,7 @@ func (m *Manifest) Put(name, output string) error {
 		return err
 	}
 	data := []byte(output)
-	if err := atomicio.WriteFile(filepath.Join(m.dir, file), data, 0o644); err != nil {
+	if err := atomicio.WriteFileFS(m.fsys, filepath.Join(m.dir, file), data, 0o644); err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
 	m.idx.Exhibits[name] = entry{File: file, SHA256: digest(data)}
@@ -126,7 +159,7 @@ func (m *Manifest) Put(name, output string) error {
 	if err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
-	if err := atomicio.WriteFile(filepath.Join(m.dir, indexName), append(raw, '\n'), 0o644); err != nil {
+	if err := atomicio.WriteFileFS(m.fsys, filepath.Join(m.dir, indexName), append(raw, '\n'), 0o644); err != nil {
 		return fmt.Errorf("manifest: %w", err)
 	}
 	return nil

@@ -1,0 +1,64 @@
+// External test package: internal/check imports internal/server, so the
+// leak bracket (check.NoGoroutineLeak) can only be used from outside the
+// server package itself.
+package server_test
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"ibsim/internal/check"
+	"ibsim/internal/server"
+)
+
+// TestCrashServerDrainNoGoroutineLeak serves real traffic, drains the
+// server, and asserts every goroutine the server spawned has exited — the
+// drain path must not strand accept loops, handlers, or limiter waiters.
+func TestCrashServerDrainNoGoroutineLeak(t *testing.T) {
+	assertNoLeak := check.NoGoroutineLeak(t)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(server.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, ln) }()
+	for i := 0; i < 200 && !s.Ready(); i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !s.Ready() {
+		t.Fatal("server never became ready")
+	}
+
+	// A private transport so client-side keep-alive goroutines are ours to
+	// tear down, not the process-global default transport's.
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get("http://" + ln.Addr().String() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	tr.CloseIdleConnections()
+	assertNoLeak()
+}

@@ -5,7 +5,11 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"ibsim/internal/atomicio"
+	"ibsim/internal/crashfs"
 	"ibsim/internal/trace"
 )
 
@@ -82,8 +86,8 @@ func (s *Store) Columnar(ctx context.Context, prof Profile, seed uint64, n int64
 	return e.cf, s.releaseOnce(key, e), nil
 }
 
-// spillDir returns the store's columnar spill directory, creating it on
-// first use.
+// spillDir returns the store's columnar spill directory, creating a
+// throwaway one on first use when none was configured via SetSpillDir.
 func (s *Store) spillDir() (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -95,13 +99,81 @@ func (s *Store) spillDir() (string, error) {
 		return "", fmt.Errorf("synth: creating columnar spill dir: %w", err)
 	}
 	s.dir = dir
+	s.dirOwned = true
 	return dir, nil
+}
+
+// SetSpillDir directs future columnar spills to dir (created as needed)
+// instead of a throwaway temp directory. Opening the directory purges every
+// stale spill artifact a crashed predecessor left behind — in-flight
+// `.trace.ibsc.tmp-*` temp files and published `trace-*.ibsc` files alike:
+// spill files are only reachable through this store's in-memory entries, so
+// anything present at open is an orphan by definition and must never be
+// loaded as data. Call before the first spill.
+func (s *Store) SetSpillDir(dir string) error {
+	fsys := s.fs()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("synth: opening spill dir: %w", err)
+	}
+	if err := purgeSpillDir(fsys, dir); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dir = dir
+	s.dirOwned = false
+	return nil
+}
+
+// SetSpillFS routes the store's spill-file I/O through fsys (nil = the real
+// OS) — the crash-consistency torture harness's hook. Call before the first
+// spill, together with SetSpillDir.
+func (s *Store) SetSpillFS(fsys crashfs.FS) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fsys = fsys
+}
+
+// fs returns the store's spill filesystem.
+func (s *Store) fs() crashfs.FS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fsys == nil {
+		return crashfs.OS()
+	}
+	return s.fsys
+}
+
+// isSpillFile reports a published columnar spill file name.
+func isSpillFile(name string) bool {
+	return strings.HasPrefix(name, "trace-") && strings.HasSuffix(name, ".ibsc")
+}
+
+// purgeSpillDir removes stale spill artifacts — atomicio temp debris and
+// orphaned published spill files — from a (re)opened spill directory.
+func purgeSpillDir(fsys crashfs.FS, dir string) error {
+	if _, err := atomicio.SweepTempsFS(fsys, dir); err != nil {
+		return fmt.Errorf("synth: purging spill dir: %w", err)
+	}
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("synth: purging spill dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !isSpillFile(e.Name()) {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return fmt.Errorf("synth: purging spill dir: %w", err)
+		}
+	}
+	return nil
 }
 
 // countWriter counts bytes flushed to the underlying file so the growing
 // encoding can be checked against the hard budget mid-generation.
 type countWriter struct {
-	f *os.File
+	f crashfs.File
 	n int64
 }
 
@@ -119,6 +191,12 @@ func (w *countWriter) Write(p []byte) (int, error) {
 // registers checkpoints, resumes from any memoized runs-only prefix, and —
 // when SetSpillWorkers enabled it — fans chunks out across goroutines
 // (spill.go). Every path produces byte-identical files.
+//
+// Publication is crash-safe: the encoding streams into an atomicio-style
+// temp file, is fsynced, and only then renamed to its published trace-*.ibsc
+// name — so a power failure at any instant leaves either sweepable temp
+// debris or a complete, CRC-valid published file, never a torn file under a
+// published name.
 func (s *Store) writeColumnar(prof Profile, seed uint64, n int64) (*trace.ColumnarFile, string, int64, error) {
 	g, done, err := s.seekGen(prof, seed)
 	if err != nil {
@@ -129,14 +207,15 @@ func (s *Store) writeColumnar(prof Profile, seed uint64, n int64) (*trace.Column
 	if err != nil {
 		return nil, "", 0, err
 	}
-	f, err := os.CreateTemp(dir, "trace-*.ibsc")
+	fsys := s.fs()
+	f, err := fsys.CreateTemp(dir, ".trace.ibsc.tmp-*")
 	if err != nil {
 		return nil, "", 0, fmt.Errorf("synth: creating columnar spill file: %w", err)
 	}
-	path := f.Name()
+	tmp := f.Name()
 	fail := func(err error) (*trace.ColumnarFile, string, int64, error) {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(tmp)
 		return nil, "", 0, err
 	}
 
@@ -167,12 +246,24 @@ func (s *Store) writeColumnar(prof Profile, seed uint64, n int64) (*trace.Column
 		return fail(fmt.Errorf("%w: columnar file needs %d bytes, budget %d",
 			ErrOverBudget, cw.n, s.hardBudget))
 	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("synth: syncing columnar spill: %w", err))
+	}
 	if err := f.Close(); err != nil {
 		return fail(fmt.Errorf("synth: closing columnar spill: %w", err))
 	}
+	s.mu.Lock()
+	s.spillSeq++
+	path := filepath.Join(dir, fmt.Sprintf("trace-%d.ibsc", s.spillSeq))
+	s.mu.Unlock()
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return nil, "", 0, fmt.Errorf("synth: publishing columnar spill: %w", err)
+	}
+	fsys.SyncDir(dir) // best effort: persist the publish itself
 	cf, err := trace.OpenColumnar(path)
 	if err != nil {
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, "", 0, fmt.Errorf("synth: reopening columnar spill: %w", err)
 	}
 	return cf, path, cw.n, nil

@@ -7,6 +7,7 @@ import (
 	"os"
 	"sync"
 
+	"ibsim/internal/crashfs"
 	"ibsim/internal/trace"
 )
 
@@ -88,15 +89,21 @@ func entryBytes(e *storeEntry) int64 {
 }
 
 // dropEntry releases an entry's out-of-heap resources: columnar entries
-// close their mapping and delete their backing file. In-memory entries are
-// garbage collected and need nothing.
-func dropEntry(e *storeEntry) {
+// close their mapping and delete their backing file (through the store's
+// spill filesystem, so the torture harness sees the delete too). In-memory
+// entries are garbage collected and need nothing. Callers hold the store
+// mutex.
+func (s *Store) dropEntry(e *storeEntry) {
 	if e.cf != nil {
 		e.cf.Close()
 		e.cf = nil
 	}
 	if e.path != "" {
-		os.Remove(e.path)
+		fsys := s.fsys
+		if fsys == nil {
+			fsys = crashfs.OS()
+		}
+		fsys.Remove(e.path)
 		e.path = ""
 	}
 }
@@ -139,7 +146,10 @@ type Store struct {
 	idleBytes  int64
 	tick       int64
 	stats      Stats
-	dir        string // lazily created spill directory for columnar files
+	dir        string     // lazily created spill directory for columnar files
+	dirOwned   bool       // dir was MkdirTemp'd by the store (Purge may remove it)
+	fsys       crashfs.FS // spill-file I/O; nil = the real OS (see SetSpillFS)
+	spillSeq   int64      // publication counter for trace-<seq>.ibsc names
 
 	// ckEvery is the recording interval for new checkpoint indexes
 	// (0 = DefaultCheckpointEvery); spillWorkers > 1 enables the parallel
@@ -442,7 +452,7 @@ func (s *Store) release(key storeKey, e *storeEntry) {
 		if cur, ok := s.entries[key]; ok && cur == e {
 			delete(s.entries, key)
 		}
-		dropEntry(e)
+		s.dropEntry(e)
 		return
 	}
 	s.tick++
@@ -472,15 +482,17 @@ func (s *Store) evictLocked() {
 		}
 		s.idleBytes -= entryBytes(victim)
 		delete(s.entries, victimKey)
-		dropEntry(victim)
+		s.dropEntry(victim)
 		s.stats.Evictions++
 	}
 }
 
 // Purge drops every idle entry — in-memory and on-disk — regardless of the
-// idle budget, and removes the store's spill directory if it is now empty.
-// Entries still referenced by an outstanding handle are untouched. Intended
-// for orderly shutdown (cmd/ibsimd) and tests; the store remains usable.
+// idle budget, and removes the store's spill directory if the store created
+// it (a throwaway temp dir) and it is now empty; a directory configured via
+// SetSpillDir belongs to the caller and is left in place. Entries still
+// referenced by an outstanding handle are untouched. Intended for orderly
+// shutdown (cmd/ibsimd) and tests; the store remains usable.
 func (s *Store) Purge() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -490,12 +502,13 @@ func (s *Store) Purge() {
 		}
 		s.idleBytes -= entryBytes(e)
 		delete(s.entries, k)
-		dropEntry(e)
+		s.dropEntry(e)
 		s.stats.Evictions++
 	}
-	if s.dir != "" {
+	if s.dir != "" && s.dirOwned {
 		if err := os.Remove(s.dir); err == nil {
 			s.dir = ""
+			s.dirOwned = false
 		}
 	}
 }
